@@ -1,0 +1,334 @@
+// Command hidelat regenerates the tables and figures of "Hiding Memory
+// Latency using Dynamic Scheduling in Shared-Memory Multiprocessors"
+// (Gharachorloo, Gupta & Hennessy, ISCA 1992).
+//
+// Usage:
+//
+//	hidelat [flags] <experiment>
+//
+// Experiments:
+//
+//	table1      data reference statistics (§3.3, Table 1)
+//	table2      synchronization statistics (§3.3, Table 2)
+//	table3      branch behaviour (§3.3, Table 3)
+//	fig3        static vs dynamic scheduling across SC/PC/RC (§4.1, Figure 3)
+//	fig4        perfect prediction and ignored dependences (§4.1.3, Figure 4)
+//	summary     fraction of read latency hidden per window (§7)
+//	delays      read-miss issue-delay distribution (§4.1.3)
+//	latency100  RC window sweep at 100-cycle miss latency (§4.2)
+//	issue4      RC window sweep with 4-wide issue (§4.2)
+//	wo          weak ordering window sweep (extension)
+//	scpf        SC with non-binding prefetch (extension, ref [8])
+//	resched     compiler load rescheduling for SS (§5/§7 future work)
+//	cachegeom   cache-size ablation (trace regeneration per size)
+//	contexts    multiple-hardware-contexts comparison (§5)
+//	contention  finite memory bandwidth ablation (§5 extension)
+//	machines    2-32 processor scaling sweep (extension)
+//	distances   distance between consecutive read misses (§4.1.3)
+//	ablate      store-buffer / MSHR / BTB ablations (extension)
+//	all         everything above
+//
+// Flags select the problem scale (-scale small|medium|paper), the miss
+// penalty (-latency), the processor count (-cpus), the traced processor
+// (-tracecpu), and the applications (-apps mp3d,lu,...).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynsched/internal/apps"
+	"dynsched/internal/bpred"
+	"dynsched/internal/exp"
+	"dynsched/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hidelat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hidelat", flag.ContinueOnError)
+	scaleName := fs.String("scale", "medium", "problem scale: small, medium, or paper")
+	latency := fs.Uint("latency", 50, "cache miss penalty in cycles")
+	cpus := fs.Int("cpus", 16, "processors in the multiprocessor simulation")
+	traceCPU := fs.Int("tracecpu", 1, "processor whose trace is replayed")
+	appList := fs.String("apps", "", "comma-separated applications (default: all five)")
+	csvOut := fs.Bool("csv", false, "emit figure data as CSV (fig3, fig4, latency100, issue4, wo, scpf)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment name, got %d args", fs.NArg())
+	}
+
+	scale, err := apps.ParseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	opts := exp.Options{
+		NumCPUs:     *cpus,
+		Scale:       scale,
+		MissPenalty: uint32(*latency),
+		TraceCPU:    *traceCPU,
+	}
+	if *appList != "" {
+		opts.Apps = strings.Split(*appList, ",")
+	}
+	e := exp.New(opts)
+	emitCSV = *csvOut
+
+	what := fs.Arg(0)
+	steps := map[string]func(*exp.Experiment) error{
+		"table1":     table1,
+		"table2":     table2,
+		"table3":     table3,
+		"fig3":       fig3,
+		"fig4":       fig4,
+		"summary":    summary,
+		"delays":     delays,
+		"latency100": latency100,
+		"issue4":     issue4,
+		"wo":         wo,
+		"ablate":     ablate,
+		"scpf":       scpf,
+		"distances":  distances,
+		"resched":    reschedCmd,
+		"cachegeom":  cachegeom,
+		"contexts":   contexts,
+		"contention": contention,
+		"machines":   machines,
+	}
+	if what == "all" {
+		for _, name := range []string{"table1", "table2", "table3", "fig3", "fig4",
+			"summary", "delays", "distances", "issue4", "wo", "scpf", "resched",
+			"cachegeom", "contexts", "contention", "machines", "ablate"} {
+			if err := steps[name](e); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		// latency100 needs its own traces; run it with a fresh harness.
+		opts100 := opts
+		opts100.MissPenalty = 100
+		return latency100(exp.New(opts100))
+	}
+	step, ok := steps[what]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", what)
+	}
+	if what == "latency100" && opts.MissPenalty != 100 {
+		opts.MissPenalty = 100
+		e = exp.New(opts)
+	}
+	return step(e)
+}
+
+// emitCSV switches the column-based experiments to CSV output.
+var emitCSV bool
+
+func printColumns(title string, acs []exp.AppColumns) {
+	if emitCSV {
+		fmt.Print(exp.ColumnsCSV(acs))
+		return
+	}
+	fmt.Print(exp.FormatAppColumns(title, acs))
+}
+
+func table1(e *exp.Experiment) error {
+	rows, err := e.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatTable1(rows))
+	return nil
+}
+
+func table2(e *exp.Experiment) error {
+	rows, err := e.Table2()
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatTable2(rows))
+	return nil
+}
+
+func table3(e *exp.Experiment) error {
+	rows, err := e.Table3()
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatTable3(rows))
+	return nil
+}
+
+func fig3(e *exp.Experiment) error {
+	acs, err := e.Figure3All()
+	if err != nil {
+		return err
+	}
+	printColumns("Figure 3: static vs dynamic scheduling under SC/PC/RC (normalized to BASE)", acs)
+	return nil
+}
+
+func fig4(e *exp.Experiment) error {
+	acs, err := e.Figure4All()
+	if err != nil {
+		return err
+	}
+	printColumns("Figure 4: perfect branch prediction (PBP) and ignored data dependences (ND) under RC", acs)
+	return nil
+}
+
+func summary(e *exp.Experiment) error {
+	avg, perApp, err := e.ReadHiddenSummary()
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatSummary(avg, perApp))
+	return nil
+}
+
+func delays(e *exp.Experiment) error {
+	s, err := e.DelayReport()
+	if err != nil {
+		return err
+	}
+	fmt.Print(s)
+	return nil
+}
+
+func latency100(e *exp.Experiment) error {
+	acs, err := e.WindowSweepAll()
+	if err != nil {
+		return err
+	}
+	printColumns("Latency 100: RC window sweep with a 100-cycle miss penalty (§4.2)", acs)
+	return nil
+}
+
+func issue4(e *exp.Experiment) error {
+	acs, err := e.Issue4All()
+	if err != nil {
+		return err
+	}
+	printColumns("Multiple issue: RC window sweep at 4-wide issue (§4.2)", acs)
+	return nil
+}
+
+func wo(e *exp.Experiment) error {
+	acs, err := e.WOAll()
+	if err != nil {
+		return err
+	}
+	printColumns("Weak ordering: DS window sweep under WO (extension)", acs)
+	return nil
+}
+
+func scpf(e *exp.Experiment) error {
+	acs, err := e.SCPrefetchAll()
+	if err != nil {
+		return err
+	}
+	printColumns("SC with non-binding prefetch: DS window sweep (extension, ref [8] / §6)", acs)
+	return nil
+}
+
+func reschedCmd(e *exp.Experiment) error {
+	rows, err := e.ReschedAll()
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatResched(rows))
+	return nil
+}
+
+func contexts(e *exp.Experiment) error {
+	for _, app := range e.Apps() {
+		for _, penalty := range []int{1, 16} {
+			rows, err := e.MultipleContexts(app, penalty)
+			if err != nil {
+				return err
+			}
+			fmt.Print(exp.FormatMC(rows))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func contention(e *exp.Experiment) error {
+	for _, app := range e.Apps() {
+		rows, err := exp.Contention(app, e.Options())
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatContention(app, rows))
+	}
+	return nil
+}
+
+func machines(e *exp.Experiment) error {
+	for _, app := range e.Apps() {
+		rows, err := exp.MachineSweep(app, e.Options())
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatMachines(app, rows))
+	}
+	return nil
+}
+
+func cachegeom(e *exp.Experiment) error {
+	for _, app := range e.Apps() {
+		rows, err := exp.AblationCacheSize(app, e.Options())
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatCacheGeom(app, rows))
+	}
+	return nil
+}
+
+func distances(e *exp.Experiment) error {
+	s, err := e.MissDistanceReport()
+	if err != nil {
+		return err
+	}
+	fmt.Print(s)
+	return nil
+}
+
+func ablate(e *exp.Experiment) error {
+	for _, app := range e.Apps() {
+		sb, err := e.AblationStoreBuffer(app)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatColumns(fmt.Sprintf("Store-buffer depth ablation, %s (RC, window 64)", strings.ToUpper(app)), sb))
+		ms, err := e.AblationMSHR(app)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatColumns(fmt.Sprintf("MSHR ablation, %s (RC, window 64)", strings.ToUpper(app)), ms))
+		bt, err := e.AblationBTB(app, func(entries int) trace.Predictor {
+			b, err := bpred.NewBTB(entries, 4)
+			if err != nil {
+				panic(err)
+			}
+			return b
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatColumns(fmt.Sprintf("BTB size ablation, %s (RC, window 128)", strings.ToUpper(app)), bt))
+		fmt.Println()
+	}
+	return nil
+}

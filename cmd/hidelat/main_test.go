@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureRun executes run(args) with stdout captured.
+func captureRun(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	// Drain any remainder.
+	for {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil || m == 0 || n == len(buf) {
+			break
+		}
+	}
+	return string(buf[:n]), runErr
+}
+
+func TestCLITables(t *testing.T) {
+	out, err := captureRun(t, "-scale", "small", "-apps", "lu", "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "LU") {
+		t.Errorf("table1 output:\n%s", out)
+	}
+	out, err = captureRun(t, "-scale", "small", "-apps", "lu", "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wait event") {
+		t.Errorf("table2 output:\n%s", out)
+	}
+}
+
+func TestCLIFig3(t *testing.T) {
+	out, err := captureRun(t, "-scale", "small", "-apps", "mp3d", "fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BASE", "SC-SSBR", "RC-DS256", "ReadHidden"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLISummaryAndExtensions(t *testing.T) {
+	for _, exp := range []string{"summary", "delays", "distances", "resched"} {
+		out, err := captureRun(t, "-scale", "small", "-apps", "lu,pthor", exp)
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if len(out) < 40 {
+			t.Errorf("%s output too short:\n%s", exp, out)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if _, err := captureRun(t, "nosuchexperiment"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := captureRun(t, "-scale", "enormous", "table1"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if _, err := captureRun(t); err == nil {
+		t.Error("missing experiment accepted")
+	}
+	if _, err := captureRun(t, "-apps", "doom", "table1"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestCLILatencyFlag(t *testing.T) {
+	out, err := captureRun(t, "-scale", "small", "-apps", "lu", "-latency", "100", "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "LU") {
+		t.Errorf("latency-100 table1 output:\n%s", out)
+	}
+}
+
+func TestCLICSVOutput(t *testing.T) {
+	out, err := captureRun(t, "-scale", "small", "-apps", "lu", "-csv", "fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "app,config,model,arch,window,") {
+		t.Errorf("csv header missing:\n%s", out[:min(len(out), 120)])
+	}
+	if !strings.Contains(out, "lu,RC-DS64,RC,DS,64,") {
+		t.Errorf("csv rows missing:\n%s", out)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,184 @@
+// Command tracetool generates, inspects, and replays annotated instruction
+// traces. Traces are the expensive artifact of the methodology (they require
+// the full 16-processor simulation), so saving them to disk and replaying
+// them repeatedly mirrors how the paper's experiments were actually run.
+//
+// Usage:
+//
+//	tracetool gen    -app lu -scale paper -o lu.trace     generate and save
+//	tracetool info   lu.trace                             tables 1-3 for one trace
+//	tracetool replay -arch DS -model RC -window 64 lu.trace
+//
+// replay prints the execution-time breakdown of the chosen processor model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynsched/internal/apps"
+	"dynsched/internal/bpred"
+	"dynsched/internal/consistency"
+	"dynsched/internal/cpu"
+	"dynsched/internal/exp"
+	"dynsched/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracetool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: tracetool gen|info|replay [flags] [file]")
+	}
+	switch args[0] {
+	case "gen":
+		return gen(args[1:])
+	case "info":
+		return info(args[1:])
+	case "replay":
+		return replay(args[1:])
+	}
+	return fmt.Errorf("unknown subcommand %q (want gen, info, or replay)", args[0])
+}
+
+func gen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	app := fs.String("app", "lu", "application to trace")
+	scaleName := fs.String("scale", "medium", "problem scale")
+	latency := fs.Uint("latency", 50, "miss penalty in cycles")
+	cpus := fs.Int("cpus", 16, "number of processors")
+	traceCPU := fs.Int("tracecpu", 1, "processor to trace")
+	out := fs.String("o", "", "output file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("gen: -o output file is required")
+	}
+	scale, err := apps.ParseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	e := exp.New(exp.Options{
+		NumCPUs: *cpus, Scale: scale, MissPenalty: uint32(*latency),
+		TraceCPU: *traceCPU, Apps: []string{*app},
+	})
+	run, err := e.Run(*app)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := run.Trace.WriteTo(f)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d instructions, %d bytes\n", *out, run.Trace.Len(), n)
+	return nil
+}
+
+func load(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadTrace(f)
+}
+
+func info(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: tracetool info <file>")
+	}
+	tr, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("app=%s cpu=%d/%d missPenalty=%d instructions=%d\n",
+		tr.App, tr.CPU, tr.NumCPUs, tr.MissPenalty, tr.Len())
+	d := tr.Data()
+	fmt.Printf("reads   %8d (%.1f/1000)   read misses  %7d (%.1f/1000)\n",
+		d.Reads, d.Per1000(d.Reads), d.ReadMisses, d.Per1000(d.ReadMisses))
+	fmt.Printf("writes  %8d (%.1f/1000)   write misses %7d (%.1f/1000)\n",
+		d.Writes, d.Per1000(d.Writes), d.WriteMisses, d.Per1000(d.WriteMisses))
+	s := tr.Sync()
+	fmt.Printf("locks %d  unlocks %d  waitEv %d  setEv %d  barriers %d\n",
+		s.Locks, s.Unlocks, s.WaitEvents, s.SetEvents, s.Barriers)
+	b := tr.Branches(bpred.NewPaperBTB())
+	fmt.Printf("branches %.1f%% of instructions, %.1f%% predicted, mispredict every %.0f instructions\n",
+		b.PctInstructions, b.PctCorrect, b.AvgMispredictDistance)
+	fmt.Printf("read-miss distances: %s\n", tr.ReadMissDistances())
+	rd, wr, sy := tr.LatencyBound()
+	fmt.Printf("latency carried: read %d, write %d, sync %d cycles\n", rd, wr, sy)
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	arch := fs.String("arch", "DS", "processor model: BASE, SSBR, SS, DS")
+	modelName := fs.String("model", "RC", "consistency model: SC, PC, WO, RC")
+	window := fs.Int("window", 64, "DS lookahead window size")
+	width := fs.Int("width", 1, "decode/issue width")
+	perfect := fs.Bool("perfect", false, "use the perfect branch predictor")
+	noDeps := fs.Bool("nodeps", false, "ignore register data dependences")
+	prefetch := fs.Bool("prefetch", false, "enable non-binding prefetch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracetool replay [flags] <file>")
+	}
+	tr, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	model, err := consistency.ParseModel(*modelName)
+	if err != nil {
+		return err
+	}
+	cfg := cpu.Config{
+		Model: model, Window: *window, IssueWidth: *width,
+		IgnoreDataDeps: *noDeps, Prefetch: *prefetch,
+	}
+	if *perfect {
+		cfg.Predictor = bpred.Perfect{}
+	}
+	var res cpu.Result
+	switch *arch {
+	case "BASE":
+		res = cpu.RunBase(tr)
+	case "SSBR":
+		res, err = cpu.RunSSBR(tr, cfg)
+	case "SS":
+		res, err = cpu.RunSS(tr, cfg)
+	case "DS":
+		res, err = cpu.RunDS(tr, cfg)
+	default:
+		return fmt.Errorf("unknown architecture %q", *arch)
+	}
+	if err != nil {
+		return err
+	}
+	base := cpu.RunBase(tr)
+	b := res.Breakdown
+	fmt.Printf("%s under %s (window %d, width %d): %v\n", *arch, model, *window, *width, b)
+	fmt.Printf("normalized to BASE: %.1f%%   CPI: %.2f   mispredicts: %d   prefetches: %d\n",
+		100*float64(b.Total())/float64(base.Breakdown.Total()), res.CPI(),
+		res.Mispredicts, res.Prefetches)
+	if base.Breakdown.Read > 0 {
+		fmt.Printf("read latency hidden: %.0f%%\n", 100*(1-float64(b.Read)/float64(base.Breakdown.Read)))
+	}
+	return nil
+}

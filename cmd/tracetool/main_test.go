@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenInfoReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "lu.trace")
+
+	if err := run([]string{"gen", "-app", "lu", "-scale", "small", "-o", file}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if fi, err := os.Stat(file); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	if err := run([]string{"info", file}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := run([]string{"replay", "-arch", "DS", "-model", "RC", "-window", "64", file}); err != nil {
+		t.Fatalf("replay DS: %v", err)
+	}
+	if err := run([]string{"replay", "-arch", "SSBR", "-model", "SC", file}); err != nil {
+		t.Fatalf("replay SSBR: %v", err)
+	}
+	if err := run([]string{"replay", "-arch", "BASE", file}); err != nil {
+		t.Fatalf("replay BASE: %v", err)
+	}
+	if err := run([]string{"replay", "-arch", "DS", "-model", "SC", "-prefetch", "-perfect", file}); err != nil {
+		t.Fatalf("replay with extensions: %v", err)
+	}
+}
+
+func TestToolErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("bogus subcommand accepted")
+	}
+	if err := run([]string{"gen", "-app", "lu"}); err == nil {
+		t.Error("gen without -o accepted")
+	}
+	if err := run([]string{"info", "/nonexistent/file.trace"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	file := filepath.Join(dir, "x.trace")
+	if err := run([]string{"gen", "-app", "lu", "-scale", "small", "-o", file}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"replay", "-arch", "QUANTUM", file}); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	if err := run([]string{"replay", "-model", "XX", file}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

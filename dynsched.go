@@ -1,0 +1,222 @@
+// Package dynsched reproduces "Hiding Memory Latency using Dynamic
+// Scheduling in Shared-Memory Multiprocessors" (Kourosh Gharachorloo, Anoop
+// Gupta, and John Hennessy, ISCA 1992).
+//
+// The paper studies whether dynamically scheduled (out-of-order) processors
+// can exploit the memory-access overlap permitted by relaxed consistency
+// models — processor consistency, weak ordering, and release consistency —
+// to hide the latency of reads in a shared-memory multiprocessor. This
+// package is the stable entry point over the full simulation stack:
+//
+//   - a 16-processor execution-driven multiprocessor simulation (the
+//     equivalent of the paper's Tango Lite environment) with coherent
+//     64 KB caches and a fixed miss penalty, producing annotated
+//     per-processor instruction traces;
+//   - the paper's five benchmark applications (MP3D, LU, PTHOR, LOCUS,
+//     OCEAN) written in a small virtual RISC ISA;
+//   - four trace-driven processor timing models — BASE, SSBR, SS, and the
+//     Johnson-style dynamically scheduled DS processor — evaluated under
+//     the SC, PC, WO, and RC consistency models;
+//   - the experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// # Quick start
+//
+//	run, err := dynsched.GenerateTrace("lu", dynsched.TraceOptions{})
+//	if err != nil { ... }
+//	base := dynsched.RunProcessor(run.Trace, dynsched.ProcessorConfig{Arch: dynsched.ArchBase})
+//	ds, _ := dynsched.Run(run.Trace, dynsched.ProcessorConfig{
+//		Arch: dynsched.ArchDS, Model: dynsched.RC, Window: 64,
+//	})
+//	fmt.Printf("read stall: BASE %d cycles, DS-64 %d cycles\n",
+//		base.Breakdown.Read, ds.Breakdown.Read)
+//
+// Lower-level building blocks (the ISA, the assembler, the coherent cache
+// model) live in internal packages; the examples directory shows how the
+// public API composes them.
+package dynsched
+
+import (
+	"fmt"
+
+	"dynsched/internal/apps"
+	"dynsched/internal/bpred"
+	"dynsched/internal/consistency"
+	"dynsched/internal/cpu"
+	"dynsched/internal/exp"
+	"dynsched/internal/mem"
+	"dynsched/internal/tango"
+	"dynsched/internal/trace"
+	"dynsched/internal/vm"
+)
+
+// Consistency models (§2.1 of the paper).
+const (
+	SC = consistency.SC // sequential consistency
+	PC = consistency.PC // processor consistency
+	WO = consistency.WO // weak ordering
+	RC = consistency.RC // release consistency
+)
+
+// Model is a memory consistency model.
+type Model = consistency.Model
+
+// Arch selects a processor timing model (§4.1).
+type Arch string
+
+// The four processor architectures of Figure 3.
+const (
+	ArchBase Arch = "BASE" // fully serial in-order execution
+	ArchSSBR Arch = "SSBR" // static scheduling, blocking reads, write buffer
+	ArchSS   Arch = "SS"   // static scheduling, non-blocking reads
+	ArchDS   Arch = "DS"   // dynamically scheduled (reorder buffer, renaming, BTB)
+)
+
+// Breakdown is an execution-time decomposition in cycles (Figure 3's bar
+// sections plus explicit branch/other buckets).
+type Breakdown = cpu.Breakdown
+
+// Result is the outcome of replaying a trace through a processor model.
+type Result = cpu.Result
+
+// Trace is an annotated dynamic instruction trace of one processor.
+type Trace = trace.Trace
+
+// Scales for the benchmark problem sizes.
+const (
+	ScaleSmall  = apps.ScaleSmall  // unit-test sized
+	ScaleMedium = apps.ScaleMedium // default experiment size
+	ScalePaper  = apps.ScalePaper  // the paper's problem sizes
+)
+
+// Scale selects benchmark problem sizes.
+type Scale = apps.Scale
+
+// Apps returns the five benchmark application names in the paper's order.
+func Apps() []string { return apps.Names() }
+
+// TraceOptions configures trace generation on the simulated multiprocessor.
+// The zero value reproduces the paper's machine: 16 processors, 64 KB
+// direct-mapped write-back caches with 16-byte lines, invalidation-based
+// coherence, a 50-cycle miss penalty, and tracing of processor 1.
+type TraceOptions struct {
+	NumCPUs     int
+	Scale       Scale
+	MissPenalty uint32
+	TraceCPU    int
+}
+
+// TraceRun couples a generated trace with multiprocessor-side statistics.
+type TraceRun struct {
+	Trace      *Trace
+	CacheStats []mem.Stats
+	CPUStats   []tango.CPUStats
+}
+
+// GenerateTrace builds the named application and runs it on the simulated
+// multiprocessor, returning the traced processor's annotated instruction
+// stream. The application's result check is executed before returning, so a
+// returned trace always comes from a functionally correct run.
+func GenerateTrace(app string, opts TraceOptions) (*TraceRun, error) {
+	if opts.NumCPUs == 0 {
+		opts.NumCPUs = 16
+	}
+	if opts.MissPenalty == 0 {
+		opts.MissPenalty = 50
+	}
+	if opts.TraceCPU == 0 {
+		opts.TraceCPU = 1 % opts.NumCPUs
+	}
+	a, err := apps.Build(app, opts.NumCPUs, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg := tango.Config{NumCPUs: opts.NumCPUs, TraceCPU: opts.TraceCPU, Mem: mem.DefaultConfig()}
+	cfg.Mem.MissPenalty = opts.MissPenalty
+	var m *vm.PagedMem
+	res, err := tango.Run(a.Progs, func(pm *vm.PagedMem) {
+		m = pm
+		a.Init(pm)
+	}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if a.Check != nil {
+		if err := a.Check(m); err != nil {
+			return nil, fmt.Errorf("dynsched: %s result check failed: %w", app, err)
+		}
+	}
+	if err := res.Trace.Validate(); err != nil {
+		return nil, err
+	}
+	return &TraceRun{Trace: res.Trace, CacheStats: res.CacheStats, CPUStats: res.CPUStats}, nil
+}
+
+// ProcessorConfig selects a processor architecture and its parameters.
+type ProcessorConfig struct {
+	Arch  Arch
+	Model Model
+
+	// Window is the DS lookahead window size (default 64).
+	Window int
+	// IssueWidth is the decode/issue rate per cycle (default 1; §4.2 uses 4).
+	IssueWidth int
+	// PerfectBranches uses the oracle predictor of Figure 4.
+	PerfectBranches bool
+	// IgnoreDataDeps removes register dependences (Figure 4, right half).
+	IgnoreDataDeps bool
+	// StoreBufDepth, WriteBufDepth, ReadBufDepth, and MSHRs override the
+	// default buffer sizes (16, 16, 16, unlimited).
+	StoreBufDepth, WriteBufDepth, ReadBufDepth, MSHRs int
+}
+
+// Run replays tr through the configured processor model.
+func Run(tr *Trace, pc ProcessorConfig) (Result, error) {
+	cfg := cpu.Config{
+		Model:          pc.Model,
+		Window:         pc.Window,
+		IssueWidth:     pc.IssueWidth,
+		IgnoreDataDeps: pc.IgnoreDataDeps,
+		StoreBufDepth:  pc.StoreBufDepth,
+		WriteBufDepth:  pc.WriteBufDepth,
+		ReadBufDepth:   pc.ReadBufDepth,
+		MSHRs:          pc.MSHRs,
+	}
+	if pc.PerfectBranches {
+		cfg.Predictor = bpred.Perfect{}
+	}
+	switch pc.Arch {
+	case ArchBase, "":
+		return cpu.RunBase(tr), nil
+	case ArchSSBR:
+		return cpu.RunSSBR(tr, cfg)
+	case ArchSS:
+		return cpu.RunSS(tr, cfg)
+	case ArchDS:
+		return cpu.RunDS(tr, cfg)
+	}
+	return Result{}, fmt.Errorf("dynsched: unknown architecture %q", pc.Arch)
+}
+
+// RunProcessor is Run for configurations that cannot fail (BASE); it panics
+// on configuration errors, which a literal-configured call never produces.
+func RunProcessor(tr *Trace, pc ProcessorConfig) Result {
+	r, err := Run(tr, pc)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Experiment exposes the full table/figure harness.
+type Experiment = exp.Experiment
+
+// ExperimentOptions configures the harness.
+type ExperimentOptions = exp.Options
+
+// NewExperiment creates a table/figure harness; see the exp package for the
+// per-table accessors (Table1, Figure3All, ReadHiddenSummary, ...).
+func NewExperiment(opts ExperimentOptions) *Experiment { return exp.New(opts) }
+
+// DefaultExperimentOptions returns the paper's main configuration.
+func DefaultExperimentOptions() ExperimentOptions { return exp.DefaultOptions() }

@@ -1,0 +1,36 @@
+// Consistency compares the four memory consistency models on the same
+// trace and processor: SC serializes everything, PC hides writes, WO
+// overlaps between synchronization points, and RC adds the acquire/release
+// asymmetry — Figure 1 of the paper, measured instead of drawn.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynsched"
+)
+
+func main() {
+	run, err := dynsched.GenerateTrace("mp3d", dynsched.TraceOptions{Scale: dynsched.ScaleSmall})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := dynsched.RunProcessor(run.Trace, dynsched.ProcessorConfig{Arch: dynsched.ArchBase})
+	fmt.Printf("%-6s %-6s total=%7d  (BASE reference)\n", "BASE", "", base.Breakdown.Total())
+
+	for _, arch := range []dynsched.Arch{dynsched.ArchSSBR, dynsched.ArchDS} {
+		for _, model := range []dynsched.Model{dynsched.SC, dynsched.PC, dynsched.WO, dynsched.RC} {
+			res, err := dynsched.Run(run.Trace, dynsched.ProcessorConfig{
+				Arch: arch, Model: model, Window: 64,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			b := res.Breakdown
+			fmt.Printf("%-6s %-6s total=%7d  busy=%d sync=%d read=%d write=%d  (%.1f%% of BASE)\n",
+				arch, model, b.Total(), b.Busy, b.Sync, b.Read, b.Write,
+				100*float64(b.Total())/float64(base.Breakdown.Total()))
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Windowsweep reproduces the heart of Figure 3 for every application: how
+// the fraction of read latency hidden by the dynamically scheduled
+// processor grows with the lookahead window under release consistency, and
+// where it levels off.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dynsched"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "problem scale: small, medium, paper")
+	latency := flag.Uint("latency", 50, "miss penalty in cycles")
+	flag.Parse()
+
+	var scale dynsched.Scale
+	switch *scaleName {
+	case "small":
+		scale = dynsched.ScaleSmall
+	case "medium":
+		scale = dynsched.ScaleMedium
+	case "paper":
+		scale = dynsched.ScalePaper
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	windows := []int{16, 32, 64, 128, 256}
+	fmt.Printf("%-8s", "app")
+	for _, w := range windows {
+		fmt.Printf("  W=%-4d", w)
+	}
+	fmt.Println("  (fraction of read latency hidden, RC)")
+
+	for _, app := range dynsched.Apps() {
+		run, err := dynsched.GenerateTrace(app, dynsched.TraceOptions{
+			Scale: scale, MissPenalty: uint32(*latency),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := dynsched.RunProcessor(run.Trace, dynsched.ProcessorConfig{Arch: dynsched.ArchBase})
+		fmt.Printf("%-8s", app)
+		for _, w := range windows {
+			ds, err := dynsched.Run(run.Trace, dynsched.ProcessorConfig{
+				Arch: dynsched.ArchDS, Model: dynsched.RC, Window: w,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			hidden := 0.0
+			if base.Breakdown.Read > 0 {
+				hidden = 1 - float64(ds.Breakdown.Read)/float64(base.Breakdown.Read)
+			}
+			fmt.Printf("  %4.0f%% ", 100*hidden)
+		}
+		fmt.Println()
+	}
+}

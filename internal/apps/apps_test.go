@@ -1,0 +1,199 @@
+package apps
+
+import (
+	"testing"
+
+	"dynsched/internal/bpred"
+	"dynsched/internal/tango"
+	"dynsched/internal/vm"
+)
+
+// runApp builds and simulates an application at small scale and returns the
+// simulation result plus the final memory image.
+func runApp(t *testing.T, name string, ncpus int) (*tango.Result, *vm.PagedMem, *App) {
+	t.Helper()
+	app, err := Build(name, ncpus, ScaleSmall)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", name, err)
+	}
+	cfg := tango.DefaultConfig()
+	cfg.NumCPUs = ncpus
+	cfg.TraceCPU = 1 % ncpus
+	var mem *vm.PagedMem
+	res, err := tango.Run(app.Progs, func(m *vm.PagedMem) {
+		mem = m
+		app.Init(m)
+	}, cfg)
+	if err != nil {
+		t.Fatalf("tango.Run(%s): %v", name, err)
+	}
+	return res, mem, app
+}
+
+func checkApp(t *testing.T, name string, ncpus int) *tango.Result {
+	t.Helper()
+	res, mem, app := runApp(t, name, ncpus)
+	if app.Check != nil {
+		if err := app.Check(mem); err != nil {
+			t.Errorf("%s result check: %v", name, err)
+		}
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Errorf("%s trace: %v", name, err)
+	}
+	if res.Trace.Len() == 0 {
+		t.Errorf("%s produced an empty trace", name)
+	}
+	return res
+}
+
+func TestLUCorrectness(t *testing.T) {
+	res := checkApp(t, "lu", 4)
+	s := res.Trace.Sync()
+	if s.SetEvents == 0 || s.WaitEvents == 0 {
+		t.Errorf("lu sync structure: %+v, want producer/consumer events", s)
+	}
+	if s.Locks != 0 {
+		t.Errorf("lu uses %d locks, want 0 (Table 2)", s.Locks)
+	}
+	if s.Barriers != 2 {
+		t.Errorf("lu barriers = %d, want 2 (Table 2)", s.Barriers)
+	}
+}
+
+func TestLUSixteenCPUs(t *testing.T) {
+	checkApp(t, "lu", 16)
+}
+
+func TestMP3DCorrectness(t *testing.T) {
+	res := checkApp(t, "mp3d", 4)
+	s := res.Trace.Sync()
+	if s.Barriers == 0 || s.Locks == 0 {
+		t.Errorf("mp3d sync structure: %+v, want barriers and locks", s)
+	}
+	if s.WaitEvents != 0 || s.SetEvents != 0 {
+		t.Errorf("mp3d should not use events: %+v", s)
+	}
+}
+
+func TestOceanCorrectness(t *testing.T) {
+	res := checkApp(t, "ocean", 4)
+	s := res.Trace.Sync()
+	if s.Barriers < 10 {
+		t.Errorf("ocean barriers = %d, want many (barrier-per-phase)", s.Barriers)
+	}
+	if s.Locks == 0 {
+		t.Errorf("ocean should take the reduction lock")
+	}
+}
+
+func TestPTHORCorrectness(t *testing.T) {
+	res := checkApp(t, "pthor", 4)
+	s := res.Trace.Sync()
+	if s.Locks == 0 {
+		t.Errorf("pthor must lock task queues: %+v", s)
+	}
+	if s.Locks != s.Unlocks {
+		t.Errorf("pthor lock/unlock imbalance: %d vs %d", s.Locks, s.Unlocks)
+	}
+	d := res.Trace.Data()
+	if d.Reads == 0 || d.ReadMisses == 0 {
+		t.Errorf("pthor data stats: %+v, want communication misses", d)
+	}
+}
+
+func TestLocusCorrectness(t *testing.T) {
+	res := checkApp(t, "locus", 4)
+	s := res.Trace.Sync()
+	if s.Locks == 0 {
+		t.Errorf("locus must lock the wire counter")
+	}
+}
+
+func TestAllAppsSixteenCPUs(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			checkApp(t, name, 16)
+		})
+	}
+}
+
+// Reference-rate sanity: all applications should have plausible memory
+// reference and branch rates (loose bounds around the paper's Table 1/3
+// ranges; exact values depend on scale).
+func TestReferenceRates(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res, _, _ := runApp(t, name, 16)
+			d := res.Trace.Data()
+			reads := d.Per1000(d.Reads)
+			writes := d.Per1000(d.Writes)
+			if reads < 100 || reads > 500 {
+				t.Errorf("%s reads/1000 = %.0f, want 100-500 (paper: 210-399)", name, reads)
+			}
+			if writes < 20 || writes > 300 {
+				t.Errorf("%s writes/1000 = %.0f, want 20-300 (paper: 54-151)", name, writes)
+			}
+			br := res.Trace.Branches(bpred.NewPaperBTB())
+			if br.PctInstructions < 3 || br.PctInstructions > 30 {
+				t.Errorf("%s branch pct = %.1f, want 3-30 (paper: 6-15.6)", name, br.PctInstructions)
+			}
+			if br.PctCorrect < 60 {
+				t.Errorf("%s BTB accuracy = %.1f%%, implausibly low", name, br.PctCorrect)
+			}
+		})
+	}
+}
+
+func TestDeterministicTraces(t *testing.T) {
+	r1, _, _ := runApp(t, "pthor", 4)
+	r2, _, _ := runApp(t, "pthor", 4)
+	if r1.Trace.Len() != r2.Trace.Len() {
+		t.Fatalf("trace lengths differ: %d vs %d", r1.Trace.Len(), r2.Trace.Len())
+	}
+	for i := range r1.Trace.Events {
+		if r1.Trace.Events[i] != r2.Trace.Events[i] {
+			t.Fatalf("event %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build("nosuch", 4, ScaleSmall); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := Build("lu", 0, ScaleSmall); err == nil {
+		t.Error("zero cpus accepted")
+	}
+	if _, err := Build("ocean", 64, ScaleSmall); err == nil {
+		t.Error("ocean with more cpus than rows accepted")
+	}
+}
+
+func TestWaterCorrectness(t *testing.T) {
+	res := checkApp(t, "water", 4)
+	s := res.Trace.Sync()
+	if s.Locks == 0 {
+		t.Error("water must use per-molecule locks")
+	}
+	if s.Barriers < 6 {
+		t.Errorf("water barriers = %d, want >= 6 (three per step)", s.Barriers)
+	}
+}
+
+func TestWaterSixteenCPUs(t *testing.T) {
+	checkApp(t, "water", 16)
+}
+
+func TestExtendedNames(t *testing.T) {
+	ext := ExtendedNames()
+	if len(ext) != len(Names())+1 || ext[len(ext)-1] != "water" {
+		t.Errorf("ExtendedNames = %v", ext)
+	}
+	// The reproduction set must stay exactly the paper's five.
+	if len(Names()) != 5 {
+		t.Errorf("Names = %v, want the paper's five", Names())
+	}
+}

@@ -1,0 +1,288 @@
+package apps
+
+import (
+	"fmt"
+
+	"dynsched/internal/asm"
+	"dynsched/internal/vm"
+)
+
+// BuildLocus constructs the LOCUS benchmark (§3.3): the LocusRoute standard
+// cell router. "The main data structure is a cost array that keeps track of
+// the number of wires running through each routing cell of the circuit."
+//
+// Wires are taken from a lock-protected shared work counter (LocusRoute's
+// dynamic distribution); for each wire several two-bend candidate routes
+// are evaluated by summing the cost-array cells along them, the cheapest
+// is chosen, and its cells are incremented. The cost array is read and
+// written by all processors, giving LOCUS its invalidation misses, and the
+// route evaluation loops give branch behaviour close to Table 3 (92%
+// predicted, branches every ~6 instructions). The paper routes 1266 wires
+// over a 481-by-18 cost array; ScalePaper matches that.
+func BuildLocus(ncpus int, scale Scale) (*App, error) {
+	var gw, gh, wires int
+	switch scale {
+	case ScaleSmall:
+		gw, gh, wires = 64, 10, 48
+	case ScaleMedium:
+		gw, gh, wires = 200, 16, 320
+	case ScalePaper:
+		gw, gh, wires = 481, 18, 1266
+	default:
+		return nil, fmt.Errorf("locus: bad scale %v", scale)
+	}
+
+	pathCap := gw/6 + gh + 8 // max cells on one candidate route
+
+	lay := asm.NewLayout(1 << 20)
+	grid := lay.Words(uint64(gw * gh))
+	wireTab := lay.Words(uint64(wires * 4)) // x1 y1 x2 y2 per wire
+	counter := lay.Word()                   // next wire to route
+	counterLock := lay.Word()
+	totalCells := lay.Word() // global routed-cell count
+	totalLock := lay.Word()
+	// Private per-processor path buffers: the router records each candidate
+	// route's cells while costing it, and commits the winner from the
+	// record, as the real LocusRoute does. These are unshared, so their
+	// traffic cache-hits — keeping the shared cost-array references a
+	// realistic fraction of the instruction stream.
+	scratch := lay.Words(uint64(ncpus * 3 * pathCap))
+
+	b := asm.NewBuilder("locus")
+	gbase := b.Alloc()
+	wbase := b.Alloc()
+	b.Li(gbase, int64(grid))
+	b.Li(wbase, int64(wireTab))
+	local := b.Alloc() // cells routed by this processor
+	b.Li(local, 0)
+	sbase := b.Alloc() // this processor's path-buffer region
+	b.Muli(sbase, asm.RegCPU, int64(3*pathCap*8))
+	{
+		t := b.Alloc()
+		b.Li(t, int64(scratch))
+		b.Add(sbase, sbase, t)
+		b.Free(t)
+	}
+	b.Barrier(0)
+
+	// cellAddr computes &grid[y][x] into dst.
+	cellAddr := func(dst, x, y asm.Reg) {
+		b.Muli(dst, y, int64(gw))
+		b.Add(dst, dst, x)
+		b.Shli(dst, dst, 3)
+		b.Add(dst, dst, gbase)
+	}
+
+	// segment costs the cells of a straight run, recording each cell's
+	// address into the private path buffer at cur. For horizontal runs the
+	// span a..b is in x at row `fixed`; for vertical runs the span is in y
+	// at column `fixed`. Walks low→high with a strength-reduced pointer so
+	// the direction branch resolves once per segment.
+	segment := func(a, bb, fixed asm.Reg, acc, cur asm.Reg, horizontal bool) {
+		lo2 := b.Alloc()
+		hi2 := b.Alloc()
+		c := b.Alloc()
+		b.Slt(c, bb, a)
+		b.If(c, func() { b.Mov(lo2, bb); b.Mov(hi2, a) },
+			func() { b.Mov(lo2, a); b.Mov(hi2, bb) })
+		b.Addi(hi2, hi2, 1)
+		p := b.Alloc()
+		var step int64
+		if horizontal {
+			cellAddr(p, lo2, fixed)
+			step = 8
+		} else {
+			cellAddr(p, fixed, lo2)
+			step = int64(gw) * 8
+		}
+		b.For(lo2, hi2, 1, func(i asm.Reg) {
+			v := b.Alloc()
+			b.Ld(v, p, 0)
+			b.Add(acc, acc, v)
+			b.St(cur, 0, p) // record the cell on the candidate's path
+			b.Addi(cur, cur, 8)
+			b.Addi(p, p, step)
+			b.Free(v)
+		})
+		b.Free(lo2, hi2, c, p)
+	}
+
+	// Main loop: grab wire indices from the shared counter until exhausted.
+	done := b.NewLabel("done")
+	loop := b.NewLabel("loop")
+	b.Label(loop)
+	idx := b.Alloc()
+	{
+		lk := b.Alloc()
+		ctr := b.Alloc()
+		b.Li(lk, int64(counterLock))
+		b.Lock(lk, 0)
+		b.Li(ctr, int64(counter))
+		b.Ld(idx, ctr, 0)
+		t := b.Alloc()
+		b.Addi(t, idx, 1)
+		b.St(ctr, 0, t)
+		b.Free(t)
+		b.Unlock(lk, 0)
+		b.Free(lk, ctr)
+	}
+	lim := b.Alloc()
+	b.Li(lim, int64(wires))
+	b.Slt(lim, idx, lim)
+	b.Beqz(lim, done)
+	b.Free(lim)
+
+	// Load the wire's pins.
+	x1 := b.Alloc()
+	y1 := b.Alloc()
+	x2 := b.Alloc()
+	y2 := b.Alloc()
+	{
+		w := b.Alloc()
+		b.Shli(w, idx, 5) // 4 words per wire
+		b.Add(w, w, wbase)
+		b.Ld(x1, w, 0)
+		b.Ld(y1, w, 8)
+		b.Ld(x2, w, 16)
+		b.Ld(y2, w, 24)
+		b.Free(w)
+	}
+
+	// Evaluate three candidate routes, recording each candidate's cells in
+	// its own private path buffer:
+	//   0: horizontal at y1, then vertical at x2 (L, horizontal first)
+	//   1: vertical at x1, then horizontal at y2 (L, vertical first)
+	//   2: Z-route bending at the midpoint ym = (y1+y2)/2
+	ym := b.Alloc()
+	b.Add(ym, y1, y2)
+	b.Shri(ym, ym, 1)
+
+	best := b.Alloc()      // best cost so far
+	bestStart := b.Alloc() // path buffer range of the winning route
+	bestEnd := b.Alloc()
+	cost := b.Alloc()
+	cur := b.Alloc()
+	b.Li(best, 1<<40)
+	b.Mov(bestStart, sbase)
+	b.Mov(bestEnd, sbase)
+
+	for route := 0; route < 3; route++ {
+		b.Li(cost, 0)
+		b.Addi(cur, sbase, int64(route*pathCap*8))
+		switch route {
+		case 0:
+			segment(x1, x2, y1, cost, cur, true)
+			segment(y1, y2, x2, cost, cur, false)
+		case 1:
+			segment(y1, y2, x1, cost, cur, false)
+			segment(x1, x2, y2, cost, cur, true)
+		case 2:
+			segment(y1, ym, x1, cost, cur, false)
+			segment(x1, x2, ym, cost, cur, true)
+			segment(ym, y2, x2, cost, cur, false)
+		}
+		c := b.Alloc()
+		b.Slt(c, cost, best)
+		b.If(c, func() {
+			b.Mov(best, cost)
+			b.Addi(bestStart, sbase, int64(route*pathCap*8))
+			b.Mov(bestEnd, cur)
+		}, nil)
+		b.Free(c)
+	}
+
+	// Commit the winner from the recorded path: load each cell address from
+	// the private buffer, then increment the shared cost cell.
+	b.While(func(c asm.Reg) { b.Slt(c, bestStart, bestEnd) }, func() {
+		a := b.Alloc()
+		v := b.Alloc()
+		b.Ld(a, bestStart, 0) // private: the recorded cell address
+		b.Ld(v, a, 0)         // shared: the cost cell
+		b.Addi(v, v, 1)
+		b.St(a, 0, v)
+		b.Addi(local, local, 1)
+		b.Addi(bestStart, bestStart, 8)
+		b.Free(a, v)
+	})
+	b.Free(x1, y1, x2, y2, ym, best, bestStart, bestEnd, cost, cur, idx)
+	b.J(loop)
+	b.Label(done)
+
+	// Fold the local routed-cell count into the global total.
+	{
+		lk := b.Alloc()
+		g := b.Alloc()
+		v := b.Alloc()
+		b.Li(lk, int64(totalLock))
+		b.Lock(lk, 0)
+		b.Li(g, int64(totalCells))
+		b.Ld(v, g, 0)
+		b.Add(v, v, local)
+		b.St(g, 0, v)
+		b.Unlock(lk, 0)
+		b.Free(lk, g, v)
+	}
+	b.Barrier(1)
+	b.Halt()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Host init: wires with bounded spans, mimicking standard-cell channel
+	// wiring (long in x, short in y).
+	r := newRNG(0x10C05)
+	wireData := make([][4]int, wires)
+	for i := range wireData {
+		x1v := r.intn(gw)
+		dx := r.intn(gw/6) + 1
+		x2v := x1v + dx
+		if x2v >= gw {
+			x2v = x1v - dx
+			if x2v < 0 {
+				x2v = 0
+			}
+		}
+		y1v := r.intn(gh)
+		y2v := r.intn(gh)
+		wireData[i] = [4]int{x1v, y1v, x2v, y2v}
+	}
+
+	app := &App{
+		Name:  "locus",
+		Progs: spmd(prog, ncpus),
+		Init: func(m *vm.PagedMem) {
+			for i, w := range wireData {
+				base := wireTab + uint64(i*4)*8
+				for k, v := range w {
+					m.Store(base+uint64(k)*8, uint64(v))
+				}
+			}
+		},
+		Check: func(m *vm.PagedMem) error {
+			// Conservation: the grid total must equal the routed-cell count
+			// accumulated under the lock, and every wire must have been
+			// taken exactly once (counter ≥ wires).
+			var sum uint64
+			for i := 0; i < gw*gh; i++ {
+				sum += m.Load(grid + uint64(i)*8)
+			}
+			total := m.Load(totalCells)
+			// Cost-array increments are unsynchronized (as in the real
+			// LocusRoute, which tolerates stale cost data by design), so a
+			// few updates may be lost to races between processors.
+			if sum > total || sum < total*98/100 {
+				return fmt.Errorf("locus: grid sum %d outside [%d, %d]", sum, total*98/100, total)
+			}
+			if got := m.Load(counter); got < uint64(wires) {
+				return fmt.Errorf("locus: only %d of %d wires taken", got, wires)
+			}
+			if total == 0 {
+				return fmt.Errorf("locus: nothing routed")
+			}
+			return nil
+		},
+	}
+	return app, nil
+}

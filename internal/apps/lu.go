@@ -1,0 +1,210 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"dynsched/internal/asm"
+	"dynsched/internal/vm"
+)
+
+// BuildLU constructs the LU-decomposition benchmark (§3.3): dense, without
+// pivoting, with columns statically assigned to processors in an
+// interleaved fashion. "Each processor waits for the current pivot column,
+// and then uses that column to modify all the columns that it owns. The
+// processor that produces the current pivot column releases any processors
+// waiting for that column" — the release is a set-event per pivot column,
+// the wait a wait-event, matching the counts of Table 2 (≈ n wait events
+// spread across producers).
+//
+// The paper factors a 200×200 matrix; ScalePaper matches that.
+func BuildLU(ncpus int, scale Scale) (*App, error) {
+	var n int
+	switch scale {
+	case ScaleSmall:
+		n = 24
+	case ScaleMedium:
+		n = 96
+	case ScalePaper:
+		n = 200
+	default:
+		return nil, fmt.Errorf("lu: bad scale %v", scale)
+	}
+
+	lay := asm.NewLayout(1 << 20)
+	// Column-major storage, as in the SPLASH LU: each column is contiguous,
+	// so a processor's owned columns never share cache lines with another
+	// processor's (no false sharing), and the pivot-column broadcast misses
+	// once per line rather than once per element. A[i][j] lives at
+	// matA + (j*n + i)*8.
+	matA := lay.Words(uint64(n * n))
+
+	b := asm.NewBuilder("lu")
+	base := b.Alloc()
+	nReg := b.Alloc()
+	b.Li(base, int64(matA))
+	b.Li(nReg, int64(n))
+	b.Barrier(0)
+
+	b.ForI(0, int64(n-1), 1, func(k asm.Reg) {
+		// owner = k mod ncpus produces pivot column k.
+		owner := b.Alloc()
+		isOwner := b.Alloc()
+		b.Rem(owner, k, asm.RegNCPU)
+		b.Seq(isOwner, owner, asm.RegCPU)
+		b.If(isOwner, func() {
+			// A[i][k] /= A[k][k] for i in k+1..n-1, then publish column k.
+			t := b.Alloc()
+			addr := b.Alloc()
+			pivot := b.Alloc()
+			b.Mul(t, k, nReg)
+			b.Add(t, t, k)
+			b.Shli(t, t, 3)
+			b.Add(addr, base, t) // &A[k][k] = base + (k*n+k)*8
+			b.Ld(pivot, addr, 0)
+			p := b.Alloc()
+			b.Addi(p, addr, 8) // &A[k+1][k]: the column is contiguous
+			i0 := b.Alloc()
+			b.Addi(i0, k, 1)
+			b.For(i0, nReg, 1, func(i asm.Reg) {
+				v := b.Alloc()
+				b.Ld(v, p, 0)
+				b.FDiv(v, v, pivot)
+				b.St(p, 0, v)
+				b.Addi(p, p, 8)
+				b.Free(v)
+			})
+			b.SetEvR(k, 0) // release waiters on pivot column k
+			b.Free(t, addr, pivot, p, i0)
+		}, func() {
+			b.WaitEvR(k, 0) // acquire: wait for pivot column k
+		})
+		b.Free(owner, isOwner)
+
+		// Update owned columns j > k: j starts at the smallest owned index
+		// >= k+1, i.e. k+1 + ((cpu - (k+1)) mod ncpus).
+		j := b.Alloc()
+		t := b.Alloc()
+		b.Addi(t, k, 1)
+		b.Sub(j, asm.RegCPU, t)
+		b.Rem(j, j, asm.RegNCPU)
+		neg := b.Alloc()
+		b.Slti(neg, j, 0)
+		b.If(neg, func() { b.Add(j, j, asm.RegNCPU) }, nil)
+		b.Free(neg)
+		b.Add(j, j, t)
+		b.Free(t)
+
+		b.While(func(c asm.Reg) { b.Slt(c, j, nReg) }, func() {
+			// akj = A[k][j] (constant over the inner loop); column j starts
+			// at base + j*n*8.
+			akj := b.Alloc()
+			colj := b.Alloc()
+			b.Mul(colj, j, nReg)
+			b.Shli(colj, colj, 3)
+			b.Add(colj, base, colj)
+			t2 := b.Alloc()
+			b.Shli(t2, k, 3)
+			b.Add(t2, colj, t2)
+			b.Ld(akj, t2, 0)
+			// pik = &A[k+1][k], pij = &A[k+1][j]: both columns contiguous.
+			pik := b.Alloc()
+			pij := b.Alloc()
+			b.Mul(pik, k, nReg)
+			b.Add(pik, pik, k)
+			b.Shli(pik, pik, 3)
+			b.Add(pik, base, pik)
+			b.Addi(pik, pik, 8)
+			b.Addi(pij, t2, 8)
+			b.Free(t2, colj)
+			i0 := b.Alloc()
+			b.Addi(i0, k, 1)
+			b.For(i0, nReg, 1, func(i asm.Reg) {
+				aik := b.Alloc()
+				aij := b.Alloc()
+				b.Ld(aik, pik, 0)
+				b.Ld(aij, pij, 0)
+				b.FMul(aik, aik, akj)
+				b.FSub(aij, aij, aik)
+				b.St(pij, 0, aij)
+				b.Addi(pik, pik, 8)
+				b.Addi(pij, pij, 8)
+				b.Free(aik, aij)
+			})
+			b.Free(i0, akj, pik, pij)
+			b.Add(j, j, asm.RegNCPU)
+		})
+		b.Free(j)
+	})
+	b.Barrier(1)
+	b.Halt()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Host initialization: a random diagonally dominant matrix (LU without
+	// pivoting is then numerically stable). A reference copy is captured
+	// for the check.
+	orig := make([]float64, n*n)
+	r := newRNG(0xA11CE)
+	for i := 0; i < n; i++ {
+		for j2 := 0; j2 < n; j2++ {
+			v := 1 + r.float()
+			if i == j2 {
+				v += float64(n)
+			}
+			orig[i*n+j2] = v
+		}
+	}
+
+	app := &App{
+		Name:  "lu",
+		Progs: spmd(prog, ncpus),
+		Init: func(m *vm.PagedMem) {
+			for i := 0; i < n; i++ {
+				for j2 := 0; j2 < n; j2++ {
+					m.StoreF(matA+uint64(j2*n+i)*8, orig[i*n+j2])
+				}
+			}
+		},
+		Check: func(m *vm.PagedMem) error {
+			// Reconstruct A from the in-place L\U factors and compare.
+			lu := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j2 := 0; j2 < n; j2++ {
+					lu[i*n+j2] = m.LoadF(matA + uint64(j2*n+i)*8)
+				}
+			}
+			var maxErr float64
+			for i := 0; i < n; i++ {
+				for j2 := 0; j2 < n; j2++ {
+					var sum float64
+					for k := 0; k <= min(i, j2); k++ {
+						l := lu[i*n+k]
+						if k == i {
+							l = 1
+						}
+						sum += l * lu[k*n+j2]
+					}
+					if e := math.Abs(sum-orig[i*n+j2]) / math.Abs(orig[i*n+j2]); e > maxErr {
+						maxErr = e
+					}
+				}
+			}
+			if maxErr > 1e-9 {
+				return fmt.Errorf("lu: reconstruction error %g exceeds 1e-9", maxErr)
+			}
+			return nil
+		},
+	}
+	return app, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

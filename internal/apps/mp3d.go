@@ -1,0 +1,240 @@
+package apps
+
+import (
+	"fmt"
+
+	"dynsched/internal/asm"
+	"dynsched/internal/isa"
+	"dynsched/internal/vm"
+)
+
+// BuildMP3D constructs the MP3D benchmark (§3.3): the 3-dimensional
+// particle simulator. "During each time step, the molecules are picked up
+// one at a time and moved according to their velocity vectors. Collisions
+// of molecules among themselves and with the object and the boundaries are
+// all modeled... The main synchronization consists of barriers between each
+// time step."
+//
+// Particles are statically partitioned; each move updates the particle's
+// private record (mostly cache-resident) and increments the occupancy word
+// of the space-array cell it lands in — the space array is written by all
+// processors, producing the communication misses that dominate MP3D's high
+// miss rate (Table 1: 24.3 read misses and 22.5 write misses per 1000
+// instructions). Boundary reflections and a pseudo-random collision test
+// provide MP3D's data-dependent branches. The paper runs 10,000 particles
+// in a 64x8x8 space array for 5 steps; ScalePaper matches that.
+func BuildMP3D(ncpus int, scale Scale) (*App, error) {
+	var particles, steps, sx, sy, sz int
+	switch scale {
+	case ScaleSmall:
+		particles, steps, sx, sy, sz = 192, 2, 16, 4, 4
+	case ScaleMedium:
+		particles, steps, sx, sy, sz = 2048, 4, 32, 8, 8
+	case ScalePaper:
+		particles, steps, sx, sy, sz = 10000, 5, 64, 8, 8
+	default:
+		return nil, fmt.Errorf("mp3d: bad scale %v", scale)
+	}
+	if particles < ncpus {
+		return nil, fmt.Errorf("mp3d: %d particles fewer than %d processors", particles, ncpus)
+	}
+
+	const prec = 8 // words per particle record: x y z vx vy vz (2 pad)
+	lay := asm.NewLayout(1 << 20)
+	parts := lay.Words(uint64(particles * prec))
+	cells := lay.Words(uint64(sx * sy * sz)) // occupancy counters
+	resAddr := lay.Word()                    // global reservoir counter
+	resLock := lay.Word()
+
+	b := asm.NewBuilder("mp3d")
+	pbase := b.Alloc()
+	cbase := b.Alloc()
+	b.Li(pbase, int64(parts))
+	b.Li(cbase, int64(cells))
+
+	// Particle range [plo, phi) for this processor.
+	plo := b.Alloc()
+	phi := b.Alloc()
+	t := b.Alloc()
+	b.Li(t, int64(particles))
+	b.Mul(plo, asm.RegCPU, t)
+	b.Div(plo, plo, asm.RegNCPU)
+	b.Addi(phi, asm.RegCPU, 1)
+	b.Mul(phi, phi, t)
+	b.Div(phi, phi, asm.RegNCPU)
+	b.Free(t)
+
+	fzero := b.Alloc()
+	fxmax := b.Alloc()
+	fymax := b.Alloc()
+	fzmax := b.Alloc()
+	b.LiF(fzero, 0)
+	b.LiF(fxmax, float64(sx))
+	b.LiF(fymax, float64(sy))
+	b.LiF(fzmax, float64(sz))
+
+	reflects := b.Alloc() // per-processor boundary-hit count
+	b.Li(reflects, 0)
+	b.Barrier(0)
+
+	// moveAxis emits: coord += vel; reflect off [0, max).
+	moveAxis := func(p asm.Reg, coordOff, velOff int64, fmax asm.Reg) {
+		x := b.Alloc()
+		v := b.Alloc()
+		c := b.Alloc()
+		b.Ld(x, p, coordOff)
+		b.Ld(v, p, velOff)
+		b.FAdd(x, x, v)
+		b.FSlt(c, x, fzero)
+		b.If(c, func() { // bounced off the low wall
+			b.FNeg(x, x)
+			b.FNeg(v, v)
+			b.St(p, velOff, v)
+			b.Addi(reflects, reflects, 1)
+		}, nil)
+		b.FSlt(c, x, fmax)
+		b.Seq(c, c, isa.Zero) // c = (x >= max)
+		b.If(c, func() {
+			// x = 2*max - x; v = -v (bounce off the high wall)
+			b.FAdd(c, fmax, fmax)
+			b.FSub(x, c, x)
+			b.FNeg(v, v)
+			b.St(p, velOff, v)
+			b.Addi(reflects, reflects, 1)
+		}, nil)
+		b.St(p, coordOff, x)
+		b.Free(x, v, c)
+	}
+
+	for s := 0; s < steps; s++ {
+		b.For(plo, phi, 1, func(i asm.Reg) {
+			p := b.Alloc()
+			b.Shli(p, i, 6) // prec*8 = 64 bytes per record
+			b.Add(p, p, pbase)
+
+			moveAxis(p, 0, 24, fxmax)  // x, vx
+			moveAxis(p, 8, 32, fymax)  // y, vy
+			moveAxis(p, 16, 40, fzmax) // z, vz
+
+			// Cell index: ((int(x)*sy + int(y))*sz + int(z)).
+			ci := b.Alloc()
+			c := b.Alloc()
+			b.Ld(c, p, 0)
+			b.CvtFI(ci, c)
+			b.Muli(ci, ci, int64(sy))
+			b.Ld(c, p, 8)
+			b.CvtFI(c, c)
+			b.Add(ci, ci, c)
+			b.Muli(ci, ci, int64(sz))
+			b.Ld(c, p, 16)
+			b.CvtFI(c, c)
+			b.Add(ci, ci, c)
+			b.Shli(ci, ci, 3)
+			b.Add(ci, ci, cbase)
+			// Occupancy update: the shared-write hot spot.
+			b.Ld(c, ci, 0)
+			b.Addi(c, c, 1)
+			b.St(ci, 0, c)
+			b.Free(ci)
+
+			// Pseudo-random collision: hash of the particle index selects
+			// ~1/8 of moves; colliding particles swap two velocity
+			// components and negate one — a deterministic stand-in for the
+			// collision operator that preserves replay determinism.
+			h := b.Alloc()
+			b.Muli(h, i, 2654435761)
+			b.Shri(h, h, 13)
+			b.Andi(h, h, 7)
+			b.Seq(h, h, isa.Zero)
+			b.If(h, func() {
+				va := b.Alloc()
+				vb := b.Alloc()
+				b.Ld(va, p, 24)
+				b.Ld(vb, p, 32)
+				b.FNeg(va, va)
+				b.St(p, 24, vb)
+				b.St(p, 32, va)
+				b.Free(va, vb)
+			}, nil)
+			b.Free(h, c, p)
+		})
+
+		// Fold the local reflection count into the global reservoir under a
+		// lock, then synchronize the time step.
+		lk := b.Alloc()
+		g := b.Alloc()
+		v := b.Alloc()
+		b.Li(lk, int64(resLock))
+		b.Lock(lk, 0)
+		b.Li(g, int64(resAddr))
+		b.Ld(v, g, 0)
+		b.Add(v, v, reflects)
+		b.St(g, 0, v)
+		b.Unlock(lk, 0)
+		b.Free(lk, g, v)
+		b.Li(reflects, 0)
+		b.Barrier(int64(10 + s*2))
+		b.Barrier(int64(11 + s*2)) // end-of-step settle (collision exchange)
+	}
+	b.Barrier(1)
+	b.Halt()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Host init: particles at deterministic pseudo-random positions with
+	// small velocities.
+	r := newRNG(0x3D3D)
+	pos := make([][6]float64, particles)
+	for i := range pos {
+		pos[i] = [6]float64{
+			r.float() * float64(sx),
+			r.float() * float64(sy),
+			r.float() * float64(sz),
+			(r.float() - 0.5) * 2.5,
+			(r.float() - 0.5) * 1.5,
+			(r.float() - 0.5) * 1.5,
+		}
+	}
+
+	app := &App{
+		Name:  "mp3d",
+		Progs: spmd(prog, ncpus),
+		Init: func(m *vm.PagedMem) {
+			for i, rec := range pos {
+				base := parts + uint64(i*prec)*8
+				for w, f := range rec {
+					m.StoreF(base+uint64(w)*8, f)
+				}
+			}
+		},
+		Check: func(m *vm.PagedMem) error {
+			// Every particle must remain inside the space array, and the
+			// cell occupancy counters must sum to particles×steps.
+			for i := 0; i < particles; i++ {
+				base := parts + uint64(i*prec)*8
+				x, y, z := m.LoadF(base), m.LoadF(base+8), m.LoadF(base+16)
+				if x < 0 || x >= float64(sx) || y < 0 || y >= float64(sy) || z < 0 || z >= float64(sz) {
+					return fmt.Errorf("mp3d: particle %d escaped to (%g,%g,%g)", i, x, y, z)
+				}
+			}
+			var sum uint64
+			for c := 0; c < sx*sy*sz; c++ {
+				sum += m.Load(cells + uint64(c)*8)
+			}
+			// The occupancy updates are unsynchronized read-modify-writes,
+			// exactly as in the original MP3D (whose results are famously
+			// timing-dependent): concurrent increments of the same cell can
+			// lose updates, so the sum is bounded above by particles×steps
+			// and should be close to it.
+			want := uint64(particles * steps)
+			if sum > want || sum < want*95/100 {
+				return fmt.Errorf("mp3d: cell occupancy sum %d outside [%d, %d]", sum, want*95/100, want)
+			}
+			return nil
+		},
+	}
+	return app, nil
+}

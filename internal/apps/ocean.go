@@ -1,0 +1,355 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"dynsched/internal/asm"
+	"dynsched/internal/vm"
+)
+
+// BuildOcean constructs the OCEAN benchmark (§3.3): the eddy/boundary
+// current simulation, realized as its computational core — coupled
+// red-black Gauss-Seidel relaxations over two-dimensional discretized
+// fields with barrier-separated phases per time step and a lock-protected
+// global convergence reduction. The paper's run uses a 98×98 interior grid;
+// ScalePaper matches that. Rows are statically block-partitioned across
+// processors, so communication misses occur at partition boundaries, and
+// barriers dominate synchronization exactly as in Table 2 (150 barriers,
+// ~21 locks at paper scale).
+func BuildOcean(ncpus int, scale Scale) (*App, error) {
+	var n, steps int
+	switch scale {
+	case ScaleSmall:
+		n, steps = 16, 3
+	case ScaleMedium:
+		n, steps = 48, 8
+	case ScalePaper:
+		n, steps = 98, 25
+	default:
+		return nil, fmt.Errorf("ocean: bad scale %v", scale)
+	}
+	if n < ncpus {
+		return nil, fmt.Errorf("ocean: grid %d smaller than %d processors", n, ncpus)
+	}
+
+	dim := n + 2 // with ghost border
+	rowBytes := int64(dim) * 8
+	lay := asm.NewLayout(1 << 20)
+	gridU := lay.Words(uint64(dim * dim)) // stream function
+	gridV := lay.Words(uint64(dim * dim)) // vorticity
+	gridR := lay.Words(uint64(dim * dim)) // relaxation right-hand side
+	gridW := lay.Words(uint64(dim * dim)) // curl work array
+	gridG := lay.Words(uint64(dim * dim)) // tracer field (gamma)
+	errAddr := lay.Word()                 // global convergence accumulator
+	lockAddr := lay.Word()                // its lock
+
+	const (
+		wRelax  = 0.7  // SOR weight
+		wCouple = 0.2  // u→v coupling
+		wTracer = 0.15 // w→gamma coupling
+	)
+
+	b := asm.NewBuilder("ocean")
+	baseU := b.Alloc()
+	baseV := b.Alloc()
+	baseR := b.Alloc()
+	baseW := b.Alloc()
+	baseG := b.Alloc()
+	b.Li(baseU, int64(gridU))
+	b.Li(baseV, int64(gridV))
+	b.Li(baseR, int64(gridR))
+	b.Li(baseW, int64(gridW))
+	b.Li(baseG, int64(gridG))
+
+	// Row range owned by this processor: [lo, hi) within 1..n+1.
+	lo := b.Alloc()
+	hi := b.Alloc()
+	t := b.Alloc()
+	b.Li(t, int64(n))
+	b.Mul(lo, asm.RegCPU, t)
+	b.Div(lo, lo, asm.RegNCPU)
+	b.Addi(lo, lo, 1)
+	b.Addi(hi, asm.RegCPU, 1)
+	b.Mul(hi, hi, t)
+	b.Div(hi, hi, asm.RegNCPU)
+	b.Addi(hi, hi, 1)
+	b.Free(t)
+
+	quarter := b.Alloc()
+	relax := b.Alloc()
+	couple := b.Alloc()
+	coupleC := b.Alloc()
+	tracer := b.Alloc()
+	tracerC := b.Alloc()
+	b.LiF(quarter, 0.25)
+	b.LiF(relax, wRelax)
+	b.LiF(couple, wCouple)
+	b.LiF(coupleC, 1-wCouple)
+	b.LiF(tracer, wTracer)
+	b.LiF(tracerC, 1-wTracer)
+
+	// rowFor iterates i over [lo,hi) and j over the interior of row i,
+	// giving body a pointer register positioned at cell (i, j0) with a
+	// column step of `step` cells.
+	interior := func(phase int, body func(pU, pV, pR, pW, pG asm.Reg)) {
+		b.For(lo, hi, 1, func(i asm.Reg) {
+			pU := b.Alloc()
+			pV := b.Alloc()
+			pR := b.Alloc()
+			pW := b.Alloc()
+			pG := b.Alloc()
+			j0 := b.Alloc()
+			var step int64 = 1
+			if phase >= 0 {
+				// Red/black: j0 = 1 + ((i + phase) & 1), step 2.
+				b.Addi(j0, i, int64(phase))
+				b.Andi(j0, j0, 1)
+				b.Addi(j0, j0, 1)
+				step = 2
+			} else {
+				b.Li(j0, 1)
+			}
+			// p = base + (i*dim + j0)*8
+			off := b.Alloc()
+			b.Muli(off, i, int64(dim))
+			b.Add(off, off, j0)
+			b.Shli(off, off, 3)
+			b.Add(pU, baseU, off)
+			b.Add(pV, baseV, off)
+			b.Add(pR, baseR, off)
+			b.Add(pW, baseW, off)
+			b.Add(pG, baseG, off)
+			b.Free(off)
+			// Column loop: iterate count = number of points in the row.
+			cnt := b.Alloc()
+			lim := b.Alloc()
+			b.Li(cnt, 0)
+			if step == 2 {
+				// ceil((n+1-j0)/2) points.
+				b.Li(lim, int64(n+2))
+				b.Sub(lim, lim, j0)
+				b.Addi(lim, lim, -1)
+				b.Addi(lim, lim, 1)
+				b.Shri(lim, lim, 1)
+			} else {
+				b.Li(lim, int64(n))
+			}
+			b.Free(j0)
+			b.While(func(c asm.Reg) { b.Slt(c, cnt, lim) }, func() {
+				body(pU, pV, pR, pW, pG)
+				b.Addi(pU, pU, step*8)
+				b.Addi(pV, pV, step*8)
+				b.Addi(pR, pR, step*8)
+				b.Addi(pW, pW, step*8)
+				b.Addi(pG, pG, step*8)
+				b.Addi(cnt, cnt, 1)
+			})
+			b.Free(pU, pV, pR, pW, pG, cnt, lim)
+		})
+	}
+
+	localErr := b.Alloc()
+	b.Barrier(0)
+
+	for s := 0; s < steps; s++ {
+		bar := int64(10 + s*8)
+		b.LiF(localErr, 0)
+
+		// Phase A: rhs = 0.25*(v[N]+v[S]+v[W]+v[E]) - v (vorticity operator).
+		interior(-1, func(pU, pV, pR, pW, pG asm.Reg) {
+			a := b.Alloc()
+			c := b.Alloc()
+			b.Ld(a, pV, -rowBytes)
+			b.Ld(c, pV, rowBytes)
+			b.FAdd(a, a, c)
+			b.Ld(c, pV, -8)
+			b.FAdd(a, a, c)
+			b.Ld(c, pV, 8)
+			b.FAdd(a, a, c)
+			b.FMul(a, a, quarter)
+			b.Ld(c, pV, 0)
+			b.FSub(a, a, c)
+			b.St(pR, 0, a)
+			b.Free(a, c)
+		})
+		b.Barrier(bar)
+
+		// Phase A2: curl work array from the stream function, w = L(u).
+		interior(-1, func(pU, pV, pR, pW, pG asm.Reg) {
+			a := b.Alloc()
+			c := b.Alloc()
+			b.Ld(a, pU, -rowBytes)
+			b.Ld(c, pU, rowBytes)
+			b.FAdd(a, a, c)
+			b.Ld(c, pU, -8)
+			b.FAdd(a, a, c)
+			b.Ld(c, pU, 8)
+			b.FAdd(a, a, c)
+			b.FMul(a, a, quarter)
+			b.Ld(c, pU, 0)
+			b.FSub(a, a, c)
+			b.St(pW, 0, a)
+			b.Free(a, c)
+		})
+		b.Barrier(bar + 4)
+
+		// Phases B, C: red then black SOR update of u.
+		for phase := 0; phase < 2; phase++ {
+			interior(phase, func(pU, pV, pR, pW, pG asm.Reg) {
+				a := b.Alloc()
+				c := b.Alloc()
+				u := b.Alloc()
+				b.Ld(a, pU, -rowBytes)
+				b.Ld(c, pU, rowBytes)
+				b.FAdd(a, a, c)
+				b.Ld(c, pU, -8)
+				b.FAdd(a, a, c)
+				b.Ld(c, pU, 8)
+				b.FAdd(a, a, c)
+				b.FMul(a, a, quarter)
+				b.Ld(c, pR, 0)
+				b.FAdd(a, a, c) // neighbour average + rhs
+				b.Ld(u, pU, 0)
+				b.FSub(a, a, u)     // delta
+				b.FMul(a, a, relax) // w * delta
+				b.FAdd(u, u, a)
+				b.St(pU, 0, u)
+				b.FAbs(a, a)
+				b.FAdd(localErr, localErr, a)
+				b.Free(a, c, u)
+			})
+			b.Barrier(bar + 1 + int64(phase))
+		}
+
+		// Phase D: couple u back into v.
+		interior(-1, func(pU, pV, pR, pW, pG asm.Reg) {
+			a := b.Alloc()
+			c := b.Alloc()
+			b.Ld(a, pV, 0)
+			b.FMul(a, a, coupleC)
+			b.Ld(c, pU, 0)
+			b.FMul(c, c, couple)
+			b.FAdd(a, a, c)
+			b.St(pV, 0, a)
+			b.Free(a, c)
+		})
+		b.Barrier(bar + 5)
+
+		// Phase D2: advance the tracer field from the curl work array.
+		interior(-1, func(pU, pV, pR, pW, pG asm.Reg) {
+			a := b.Alloc()
+			c := b.Alloc()
+			b.Ld(a, pG, 0)
+			b.FMul(a, a, tracerC)
+			b.Ld(c, pW, 0)
+			b.FMul(c, c, tracer)
+			b.FAdd(a, a, c)
+			b.St(pG, 0, a)
+			b.Free(a, c)
+		})
+
+		// Global convergence reduction under a lock (OCEAN's few locks).
+		lk := b.Alloc()
+		g := b.Alloc()
+		b.Li(lk, int64(lockAddr))
+		b.Lock(lk, 0)
+		b.Li(g, int64(errAddr))
+		v := b.Alloc()
+		b.Ld(v, g, 0)
+		b.FAdd(v, v, localErr)
+		b.St(g, 0, v)
+		b.Free(v)
+		b.Unlock(lk, 0)
+		b.Free(lk, g)
+		b.Barrier(bar + 3)
+	}
+	b.Free(localErr, quarter, relax, couple, coupleC, tracer, tracerC, lo, hi)
+	b.Barrier(1)
+	b.Halt()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Host initialization: smooth deterministic fields.
+	u0 := make([]float64, dim*dim)
+	v0 := make([]float64, dim*dim)
+	g0 := make([]float64, dim*dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			x := float64(i) / float64(dim)
+			y := float64(j) / float64(dim)
+			u0[i*dim+j] = math.Sin(math.Pi*x) * math.Cos(2*math.Pi*y)
+			v0[i*dim+j] = math.Cos(math.Pi*x) * math.Sin(math.Pi*y)
+			g0[i*dim+j] = math.Sin(2*math.Pi*x) * math.Sin(math.Pi*y)
+		}
+	}
+
+	// Reference: the phase structure is barrier-deterministic, so the exact
+	// result can be replicated sequentially.
+	reference := func() ([]float64, []float64, []float64) {
+		u := append([]float64(nil), u0...)
+		v := append([]float64(nil), v0...)
+		g := append([]float64(nil), g0...)
+		rhs := make([]float64, dim*dim)
+		wk := make([]float64, dim*dim)
+		at := func(g []float64, i, j int) float64 { return g[i*dim+j] }
+		for s := 0; s < steps; s++ {
+			for i := 1; i <= n; i++ {
+				for j := 1; j <= n; j++ {
+					rhs[i*dim+j] = 0.25*(at(v, i-1, j)+at(v, i+1, j)+at(v, i, j-1)+at(v, i, j+1)) - at(v, i, j)
+				}
+			}
+			for i := 1; i <= n; i++ {
+				for j := 1; j <= n; j++ {
+					wk[i*dim+j] = 0.25*(at(u, i-1, j)+at(u, i+1, j)+at(u, i, j-1)+at(u, i, j+1)) - at(u, i, j)
+				}
+			}
+			for phase := 0; phase < 2; phase++ {
+				for i := 1; i <= n; i++ {
+					j0 := 1 + (i+phase)&1
+					for j := j0; j <= n; j += 2 {
+						avg := 0.25*(at(u, i-1, j)+at(u, i+1, j)+at(u, i, j-1)+at(u, i, j+1)) + rhs[i*dim+j]
+						delta := (avg - at(u, i, j)) * wRelax
+						u[i*dim+j] += delta
+					}
+				}
+			}
+			for i := 1; i <= n; i++ {
+				for j := 1; j <= n; j++ {
+					v[i*dim+j] = (1-wCouple)*at(v, i, j) + wCouple*at(u, i, j)
+					g[i*dim+j] = (1-wTracer)*at(g, i, j) + wTracer*wk[i*dim+j]
+				}
+			}
+		}
+		return u, v, g
+	}
+
+	app := &App{
+		Name:  "ocean",
+		Progs: spmd(prog, ncpus),
+		Init: func(m *vm.PagedMem) {
+			for i := range u0 {
+				m.StoreF(gridU+uint64(i)*8, u0[i])
+				m.StoreF(gridV+uint64(i)*8, v0[i])
+				m.StoreF(gridG+uint64(i)*8, g0[i])
+			}
+		},
+		Check: func(m *vm.PagedMem) error {
+			refU, refV, refG := reference()
+			for i := 0; i < dim*dim; i++ {
+				gu := m.LoadF(gridU + uint64(i)*8)
+				gv := m.LoadF(gridV + uint64(i)*8)
+				gg := m.LoadF(gridG + uint64(i)*8)
+				if math.Abs(gu-refU[i]) > 1e-12 || math.Abs(gv-refV[i]) > 1e-12 || math.Abs(gg-refG[i]) > 1e-12 {
+					return fmt.Errorf("ocean: cell %d diverges from reference (u %g vs %g, v %g vs %g, g %g vs %g)",
+						i, gu, refU[i], gv, refV[i], gg, refG[i])
+				}
+			}
+			return nil
+		},
+	}
+	return app, nil
+}

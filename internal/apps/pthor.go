@@ -1,0 +1,313 @@
+package apps
+
+import (
+	"fmt"
+
+	"dynsched/internal/asm"
+	"dynsched/internal/isa"
+	"dynsched/internal/vm"
+)
+
+// BuildPTHOR constructs the PTHOR benchmark (§3.3): a parallel
+// distributed-time logic simulator in the style of Chandy-Misra. "Each
+// processor executes the following loop. It removes an activated element
+// from one of its task queues and determines the changes on that element's
+// outputs. It then schedules the newly activated elements onto the task
+// queues."
+//
+// The circuit is a deterministic synthetic gate network (the paper's RISC
+// netlist is proprietary; see DESIGN.md). Phases alternate between two
+// queue generations separated by barriers; pushing an activation onto
+// another processor's queue takes that queue's lock, giving PTHOR its
+// distinctively high lock rate (Table 2: 3.4 locks per 1000 instructions).
+// Gate evaluation chases pointers — gate record → input gate ids → input
+// values — producing the dependent read-miss chains the paper identifies
+// as PTHOR's limiting factor (§4.1.3: ~50% of read misses delayed over 50
+// cycles), and the per-gate type dispatch yields its poor branch
+// predictability (Table 3: 81.2%).
+func BuildPTHOR(ncpus int, scale Scale) (*App, error) {
+	var gates, phases int
+	switch scale {
+	case ScaleSmall:
+		gates, phases = 160, 3
+	case ScaleMedium:
+		gates, phases = 1200, 5
+	case ScalePaper:
+		gates, phases = 6000, 8
+	default:
+		return nil, fmt.Errorf("pthor: bad scale %v", scale)
+	}
+	if gates < 4*ncpus {
+		return nil, fmt.Errorf("pthor: %d gates too few for %d processors", gates, ncpus)
+	}
+
+	// Synthetic circuit: gate i has a type and two random input gates.
+	r := newRNG(0x9704)
+	type gate struct{ typ, in0, in1 int }
+	gs := make([]gate, gates)
+	fanout := make([][]int, gates)
+	for i := range gs {
+		g := gate{typ: r.intn(4), in0: r.intn(gates), in1: r.intn(gates)}
+		gs[i] = g
+		fanout[g.in0] = append(fanout[g.in0], i)
+		if g.in1 != g.in0 {
+			fanout[g.in1] = append(fanout[g.in1], i)
+		}
+	}
+	edges := 0
+	for _, f := range fanout {
+		edges += len(f)
+	}
+
+	const grec = 4 // words per gate record: type, in0, in1, val
+	capPer := 4*edges/ncpus + 64
+
+	lay := asm.NewLayout(1 << 20)
+	gbase := lay.Words(uint64(gates * grec))
+	fstart := lay.Words(uint64(gates + 1))
+	flist := lay.Words(uint64(edges))
+	// Two queue generations, one queue per processor; per-queue tail
+	// counters and locks each on their own line.
+	qbase := [2]uint64{lay.Words(uint64(ncpus * capPer)), lay.Words(uint64(ncpus * capPer))}
+	tails := [2]uint64{lay.Words(uint64(ncpus * 2)), lay.Words(uint64(ncpus * 2))}
+	qlocks := lay.Words(uint64(ncpus * 8)) // spread across lines (8 words apart)
+	overflow := lay.Word()
+	// Private per-processor timing-wheel scratch (64 words each): element
+	// evaluation in the real PTHOR is dominated by private event-list and
+	// delay-table traffic, which cache-hits.
+	const wheelWords = 64
+	wheel := lay.Words(uint64(ncpus * wheelWords))
+
+	b := asm.NewBuilder("pthor")
+	gb := b.Alloc()
+	fsb := b.Alloc()
+	flb := b.Alloc()
+	wb := b.Alloc()
+	b.Li(gb, int64(gbase))
+	b.Li(fsb, int64(fstart))
+	b.Li(flb, int64(flist))
+	b.Muli(wb, asm.RegCPU, wheelWords*8)
+	{
+		t := b.Alloc()
+		b.Li(t, int64(wheel))
+		b.Add(wb, wb, t)
+		b.Free(t)
+	}
+	b.Barrier(0)
+
+	for ph := 0; ph < phases; ph++ {
+		gen := ph & 1
+		nxt := 1 - gen
+
+		// Drain this processor's current-generation queue.
+		myq := b.Alloc()
+		myTail := b.Alloc()
+		cnt := b.Alloc()
+		b.Muli(myq, asm.RegCPU, int64(capPer*8))
+		t := b.Alloc()
+		b.Li(t, int64(qbase[gen]))
+		b.Add(myq, myq, t)
+		b.Shli(myTail, asm.RegCPU, 4) // 2 words per tail slot
+		b.Li(t, int64(tails[gen]))
+		b.Add(myTail, myTail, t)
+		b.Free(t)
+		b.Ld(cnt, myTail, 0)
+
+		qi := b.Alloc()
+		b.Li(qi, 0)
+		b.While(func(c asm.Reg) { b.Slt(c, qi, cnt) }, func() {
+			gid := b.Alloc()
+			gaddr := b.Alloc()
+			b.Shli(gaddr, qi, 3)
+			b.Add(gaddr, gaddr, myq)
+			b.Ld(gid, gaddr, 0)   // activation record
+			b.Shli(gaddr, gid, 5) // grec*8 = 32 bytes
+			b.Add(gaddr, gaddr, gb)
+
+			typ := b.Alloc()
+			v0 := b.Alloc()
+			v1 := b.Alloc()
+			b.Ld(typ, gaddr, 0)
+			// Chase the input pointers: load input ids, then their values.
+			b.Ld(v0, gaddr, 8)
+			b.Shli(v0, v0, 5)
+			b.Add(v0, v0, gb)
+			b.Ld(v0, v0, 24) // value of input 0 (address depends on load)
+			b.Ld(v1, gaddr, 16)
+			b.Shli(v1, v1, 5)
+			b.Add(v1, v1, gb)
+			b.Ld(v1, v1, 24)
+
+			// Evaluate by gate type: 0 AND, 1 OR, 2 XOR, 3 NAND.
+			nv := b.Alloc()
+			c := b.Alloc()
+			b.Slti(c, typ, 2)
+			b.If(c, func() {
+				b.Slti(c, typ, 1)
+				b.If(c, func() { b.And(nv, v0, v1) }, func() { b.Or(nv, v0, v1) })
+			}, func() {
+				b.Slti(c, typ, 3)
+				b.If(c, func() { b.Xor(nv, v0, v1) }, func() {
+					b.And(nv, v0, v1)
+					b.Slti(nv, nv, 1) // NAND: !(a&b) for 0/1 values
+				})
+			})
+
+			// Timing-wheel bookkeeping: the real PTHOR spends most of an
+			// element evaluation on private event-list and delay-table
+			// traffic (timestamps, deadlock counters). Model it as a short
+			// walk over the processor's private wheel — memory-rich and
+			// cache-resident — so both the reference rate and the miss
+			// rate land near Table 1's PTHOR row (399 reads/1000, 23.5
+			// read misses/1000).
+			acc := b.Alloc()
+			slot := b.Alloc()
+			b.Mov(acc, gid)
+			b.ForI(0, 6, 1, func(d asm.Reg) {
+				b.Muli(slot, acc, 2654435761)
+				b.Shri(slot, slot, 8)
+				b.Andi(slot, slot, wheelWords-1)
+				b.Shli(slot, slot, 3)
+				b.Add(slot, slot, wb)
+				v2 := b.Alloc()
+				b.Ld(v2, slot, 0)
+				b.Add(acc, acc, v2)
+				b.Addi(v2, v2, 1)
+				b.St(slot, 0, v2)
+				b.Free(v2)
+			})
+			b.Free(acc, slot)
+
+			// If the output changed, store it and activate the fanout.
+			old := b.Alloc()
+			b.Ld(old, gaddr, 24)
+			b.Sne(c, nv, old)
+			b.If(c, func() {
+				b.St(gaddr, 24, nv)
+				fs := b.Alloc()
+				fe := b.Alloc()
+				b.Shli(fs, gid, 3)
+				b.Add(fs, fs, fsb)
+				b.Ld(fe, fs, 8) // fanoutStart[gid+1]
+				b.Ld(fs, fs, 0) // fanoutStart[gid]
+				b.For(fs, fe, 1, func(fi asm.Reg) {
+					tgt := b.Alloc()
+					b.Shli(tgt, fi, 3)
+					b.Add(tgt, tgt, flb)
+					b.Ld(tgt, tgt, 0) // target gate id
+					// Push onto the target's next-generation queue.
+					tq := b.Alloc()
+					b.Rem(tq, tgt, asm.RegNCPU) // owning processor
+					lk := b.Alloc()
+					b.Shli(lk, tq, 6) // 8 words between locks
+					tmp := b.Alloc()
+					b.Li(tmp, int64(qlocks))
+					b.Add(lk, lk, tmp)
+					b.Lock(lk, 0)
+					ta := b.Alloc()
+					tl := b.Alloc()
+					b.Shli(ta, tq, 4)
+					b.Li(tmp, int64(tails[nxt]))
+					b.Add(ta, ta, tmp)
+					b.Ld(tl, ta, 0)
+					full := b.Alloc()
+					b.Slti(full, tl, int64(capPer))
+					b.If(full, func() {
+						dst := b.Alloc()
+						b.Muli(dst, tq, int64(capPer*8))
+						b.Li(tmp, int64(qbase[nxt]))
+						b.Add(dst, dst, tmp)
+						b.Shli(tmp, tl, 3)
+						b.Add(dst, dst, tmp)
+						b.St(dst, 0, tgt)
+						b.Addi(tl, tl, 1)
+						b.St(ta, 0, tl)
+						b.Free(dst)
+					}, func() {
+						one := b.Alloc()
+						ov := b.Alloc()
+						b.Li(one, 1)
+						b.Li(ov, int64(overflow))
+						b.St(ov, 0, one)
+						b.Free(one, ov)
+					})
+					b.Unlock(lk, 0)
+					b.Free(tgt, tq, lk, tmp, ta, tl, full)
+				})
+				b.Free(fs, fe)
+			}, nil)
+			b.Free(gid, gaddr, typ, v0, v1, nv, c, old)
+			b.Addi(qi, qi, 1)
+		})
+		// Reset this generation's tail for reuse two phases later, then
+		// synchronize before anyone consumes the next generation.
+		b.St(myTail, 0, isa.Zero)
+		b.Free(myq, myTail, cnt, qi)
+		b.Barrier(int64(10 + ph))
+	}
+	b.Barrier(1)
+	b.Halt()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Flatten fanout lists for the host image.
+	starts := make([]int, gates+1)
+	var flat []int
+	for i, f := range fanout {
+		starts[i] = len(flat)
+		flat = append(flat, f...)
+	}
+	starts[gates] = len(flat)
+	vals := make([]int, gates)
+	r2 := newRNG(0x517)
+	for i := range vals {
+		vals[i] = r2.intn(2)
+	}
+
+	app := &App{
+		Name:  "pthor",
+		Progs: spmd(prog, ncpus),
+		Init: func(m *vm.PagedMem) {
+			for i, g := range gs {
+				base := gbase + uint64(i*grec)*8
+				m.Store(base, uint64(g.typ))
+				m.Store(base+8, uint64(g.in0))
+				m.Store(base+16, uint64(g.in1))
+				m.Store(base+24, uint64(vals[i]))
+			}
+			for i, s := range starts {
+				m.Store(fstart+uint64(i)*8, uint64(s))
+			}
+			for i, v := range flat {
+				m.Store(flist+uint64(i)*8, uint64(v))
+			}
+			// Initial activation: every gate, round-robin over queues.
+			cnt := make([]uint64, ncpus)
+			for g := 0; g < gates; g++ {
+				q := g % ncpus
+				m.Store(qbase[0]+uint64(q)*uint64(capPer)*8+cnt[q]*8, uint64(g))
+				cnt[q]++
+			}
+			for q, c := range cnt {
+				m.Store(tails[0]+uint64(q)*16, c)
+				m.Store(tails[1]+uint64(q)*16, 0)
+			}
+		},
+		Check: func(m *vm.PagedMem) error {
+			if m.Load(overflow) != 0 {
+				return fmt.Errorf("pthor: task queue overflowed (capacity %d)", capPer)
+			}
+			for g := 0; g < gates; g++ {
+				v := m.Load(gbase + uint64(g*grec)*8 + 24)
+				if v != 0 && v != 1 {
+					return fmt.Errorf("pthor: gate %d value %d not boolean", g, v)
+				}
+			}
+			return nil
+		},
+	}
+	return app, nil
+}

@@ -1,0 +1,313 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"dynsched/internal/asm"
+	"dynsched/internal/vm"
+)
+
+// BuildWater constructs WATER, a sixth workload beyond the paper's five: the
+// SPLASH molecular-dynamics code (the paper's applications are drawn from
+// the same suite, §3.3). It is included because it exercises a
+// synchronization pattern none of the five have — fine-grained per-object
+// locking with floating-point accumulation into shared records — which
+// stresses the lock path of the consistency models.
+//
+// Each time step: forces are zeroed; a barrier; every processor computes
+// pairwise interactions for its owned molecules (owner of i computes pairs
+// (i, j>i)), accumulating the partner's share into the shared force record
+// under that molecule's lock; a barrier; then owned molecules integrate.
+//
+// The computation is a simplified O(n²) soft-sphere model rather than
+// WATER's real potential; the sharing pattern, lock rate, and FP mix are
+// what matter here.
+func BuildWater(ncpus int, scale Scale) (*App, error) {
+	var n, steps int
+	switch scale {
+	case ScaleSmall:
+		n, steps = 32, 2
+	case ScaleMedium:
+		n, steps = 96, 3
+	case ScalePaper:
+		n, steps = 192, 4
+	default:
+		return nil, fmt.Errorf("water: bad scale %v", scale)
+	}
+	if n < 2*ncpus {
+		return nil, fmt.Errorf("water: %d molecules too few for %d processors", n, ncpus)
+	}
+
+	const (
+		mrec   = 16  // words per molecule: x y z vx vy vz fx fy fz + pad
+		cutoff = 9.0 // squared interaction cutoff
+		gconst = 0.001
+		dt     = 0.01
+	)
+	lay := asm.NewLayout(1 << 20)
+	mols := lay.Words(uint64(n * mrec))
+	locks := lay.Words(uint64(n * 8)) // one lock per molecule, one per line
+
+	b := asm.NewBuilder("water")
+	mbase := b.Alloc()
+	lbase := b.Alloc()
+	b.Li(mbase, int64(mols))
+	b.Li(lbase, int64(locks))
+
+	lo := b.Alloc()
+	hi := b.Alloc()
+	{
+		t := b.Alloc()
+		b.Li(t, int64(n))
+		b.Mul(lo, asm.RegCPU, t)
+		b.Div(lo, lo, asm.RegNCPU)
+		b.Addi(hi, asm.RegCPU, 1)
+		b.Mul(hi, hi, t)
+		b.Div(hi, hi, asm.RegNCPU)
+		b.Free(t)
+	}
+
+	fcut := b.Alloc()
+	fg := b.Alloc()
+	fdt := b.Alloc()
+	b.LiF(fcut, cutoff)
+	b.LiF(fg, gconst)
+	b.LiF(fdt, dt)
+
+	// molAddr computes &mol[i] into dst (mrec*8 = 128 bytes per record).
+	molAddr := func(dst, i asm.Reg) {
+		b.Shli(dst, i, 7)
+		b.Add(dst, dst, mbase)
+	}
+
+	b.Barrier(0)
+	for s := 0; s < steps; s++ {
+		bar := int64(10 + s*4)
+
+		// Phase 1: zero owned force accumulators.
+		b.For(lo, hi, 1, func(i asm.Reg) {
+			p := b.Alloc()
+			z := b.Alloc()
+			molAddr(p, i)
+			b.LiF(z, 0)
+			b.St(p, 48, z)
+			b.St(p, 56, z)
+			b.St(p, 64, z)
+			b.Free(p, z)
+		})
+		b.Barrier(bar)
+
+		// Phase 2: pairwise forces for owned i against all j > i.
+		b.For(lo, hi, 1, func(i asm.Reg) {
+			pi := b.Alloc()
+			xi := b.Alloc()
+			yi := b.Alloc()
+			zi := b.Alloc()
+			fxi := b.Alloc()
+			fyi := b.Alloc()
+			fzi := b.Alloc()
+			molAddr(pi, i)
+			b.Ld(xi, pi, 0)
+			b.Ld(yi, pi, 8)
+			b.Ld(zi, pi, 16)
+			b.LiF(fxi, 0)
+			b.LiF(fyi, 0)
+			b.LiF(fzi, 0)
+
+			j0 := b.Alloc()
+			nn := b.Alloc()
+			b.Addi(j0, i, 1)
+			b.Li(nn, int64(n))
+			b.For(j0, nn, 1, func(j asm.Reg) {
+				pj := b.Alloc()
+				dx := b.Alloc()
+				dy := b.Alloc()
+				dz := b.Alloc()
+				r2 := b.Alloc()
+				t := b.Alloc()
+				molAddr(pj, j)
+				b.Ld(dx, pj, 0)
+				b.FSub(dx, dx, xi)
+				b.Ld(dy, pj, 8)
+				b.FSub(dy, dy, yi)
+				b.Ld(dz, pj, 16)
+				b.FSub(dz, dz, zi)
+				b.FMul(r2, dx, dx)
+				b.FMul(t, dy, dy)
+				b.FAdd(r2, r2, t)
+				b.FMul(t, dz, dz)
+				b.FAdd(r2, r2, t)
+				c := b.Alloc()
+				b.FSlt(c, r2, fcut)
+				b.If(c, func() {
+					// f = g / (r2 + 1): soft-sphere repulsion along d.
+					one := b.Alloc()
+					f := b.Alloc()
+					b.LiF(one, 1)
+					b.FAdd(f, r2, one)
+					b.FDiv(f, fg, f)
+					b.Free(one)
+					b.FMul(dx, dx, f)
+					b.FMul(dy, dy, f)
+					b.FMul(dz, dz, f)
+					// i gains +d (toward j), accumulated locally.
+					b.FAdd(fxi, fxi, dx)
+					b.FAdd(fyi, fyi, dy)
+					b.FAdd(fzi, fzi, dz)
+					// j gains -d, accumulated into the shared record under
+					// molecule j's lock (WATER's fine-grained locking).
+					lk := b.Alloc()
+					b.Shli(lk, j, 6)
+					b.Add(lk, lk, lbase)
+					b.Lock(lk, 0)
+					v := b.Alloc()
+					b.Ld(v, pj, 48)
+					b.FSub(v, v, dx)
+					b.St(pj, 48, v)
+					b.Ld(v, pj, 56)
+					b.FSub(v, v, dy)
+					b.St(pj, 56, v)
+					b.Ld(v, pj, 64)
+					b.FSub(v, v, dz)
+					b.St(pj, 64, v)
+					b.Unlock(lk, 0)
+					b.Free(lk, v, f)
+				}, nil)
+				b.Free(pj, dx, dy, dz, r2, t, c)
+			})
+			b.Free(j0, nn)
+
+			// Fold the local share of molecule i's force in, under its lock.
+			lk := b.Alloc()
+			b.Shli(lk, i, 6)
+			b.Add(lk, lk, lbase)
+			b.Lock(lk, 0)
+			v := b.Alloc()
+			b.Ld(v, pi, 48)
+			b.FAdd(v, v, fxi)
+			b.St(pi, 48, v)
+			b.Ld(v, pi, 56)
+			b.FAdd(v, v, fyi)
+			b.St(pi, 56, v)
+			b.Ld(v, pi, 64)
+			b.FAdd(v, v, fzi)
+			b.St(pi, 64, v)
+			b.Unlock(lk, 0)
+			b.Free(lk, v, pi, xi, yi, zi, fxi, fyi, fzi)
+		})
+		b.Barrier(bar + 1)
+
+		// Phase 3: integrate owned molecules.
+		b.For(lo, hi, 1, func(i asm.Reg) {
+			p := b.Alloc()
+			v := b.Alloc()
+			x := b.Alloc()
+			f := b.Alloc()
+			molAddr(p, i)
+			for ax := int64(0); ax < 3; ax++ {
+				b.Ld(f, p, 48+ax*8)
+				b.FMul(f, f, fdt)
+				b.Ld(v, p, 24+ax*8)
+				b.FAdd(v, v, f)
+				b.St(p, 24+ax*8, v)
+				b.FMul(v, v, fdt)
+				b.Ld(x, p, ax*8)
+				b.FAdd(x, x, v)
+				b.St(p, ax*8, x)
+			}
+			b.Free(p, v, x, f)
+		})
+		b.Barrier(bar + 2)
+	}
+	b.Barrier(1)
+	b.Halt()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Host init: molecules on a jittered grid with small random velocities.
+	r := newRNG(0x3A7E4)
+	type mol struct{ x, y, z, vx, vy, vz float64 }
+	init0 := make([]mol, n)
+	side := int(math.Ceil(math.Cbrt(float64(n))))
+	for i := range init0 {
+		init0[i] = mol{
+			x:  float64(i%side)*2 + r.float()*0.5,
+			y:  float64((i/side)%side)*2 + r.float()*0.5,
+			z:  float64(i/(side*side))*2 + r.float()*0.5,
+			vx: (r.float() - 0.5) * 0.1,
+			vy: (r.float() - 0.5) * 0.1,
+			vz: (r.float() - 0.5) * 0.1,
+		}
+	}
+
+	// Reference: same algorithm sequentially. Force contributions add in a
+	// different order than the parallel run, so comparison uses a tolerance
+	// (floating-point addition is not associative).
+	reference := func() []mol {
+		ms := append([]mol(nil), init0...)
+		for s := 0; s < steps; s++ {
+			fx := make([]float64, n)
+			fy := make([]float64, n)
+			fz := make([]float64, n)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					dx := ms[j].x - ms[i].x
+					dy := ms[j].y - ms[i].y
+					dz := ms[j].z - ms[i].z
+					r2 := dx*dx + dy*dy + dz*dz
+					if r2 < cutoff {
+						f := gconst / (r2 + 1)
+						fx[i] += dx * f
+						fy[i] += dy * f
+						fz[i] += dz * f
+						fx[j] -= dx * f
+						fy[j] -= dy * f
+						fz[j] -= dz * f
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				ms[i].vx += fx[i] * dt
+				ms[i].vy += fy[i] * dt
+				ms[i].vz += fz[i] * dt
+				ms[i].x += ms[i].vx * dt
+				ms[i].y += ms[i].vy * dt
+				ms[i].z += ms[i].vz * dt
+			}
+		}
+		return ms
+	}
+
+	app := &App{
+		Name:  "water",
+		Progs: spmd(prog, ncpus),
+		Init: func(m *vm.PagedMem) {
+			for i, mo := range init0 {
+				base := mols + uint64(i*mrec)*8
+				m.StoreF(base, mo.x)
+				m.StoreF(base+8, mo.y)
+				m.StoreF(base+16, mo.z)
+				m.StoreF(base+24, mo.vx)
+				m.StoreF(base+32, mo.vy)
+				m.StoreF(base+40, mo.vz)
+			}
+		},
+		Check: func(m *vm.PagedMem) error {
+			ref := reference()
+			for i := 0; i < n; i++ {
+				base := mols + uint64(i*mrec)*8
+				gx, gy, gz := m.LoadF(base), m.LoadF(base+8), m.LoadF(base+16)
+				if math.Abs(gx-ref[i].x) > 1e-9 || math.Abs(gy-ref[i].y) > 1e-9 || math.Abs(gz-ref[i].z) > 1e-9 {
+					return fmt.Errorf("water: molecule %d at (%g,%g,%g), reference (%g,%g,%g)",
+						i, gx, gy, gz, ref[i].x, ref[i].y, ref[i].z)
+				}
+			}
+			return nil
+		},
+	}
+	return app, nil
+}

@@ -1,0 +1,386 @@
+// Package asm provides a small structured assembler for the virtual ISA.
+//
+// The five benchmark applications are written in Go against this builder:
+// each Go helper emits straight-line virtual instructions, and the
+// structured-control helpers (For, While, If) emit the branch shapes a
+// 1990s compiler would have produced (bottom-tested loops with a single
+// conditional branch per iteration). Virtual registers are managed by a
+// simple allocator so application code does not hand-pick register numbers.
+package asm
+
+import (
+	"fmt"
+
+	"dynsched/internal/isa"
+)
+
+// Program is an assembled instruction sequence for one thread.
+type Program struct {
+	Name   string
+	Instrs []isa.Instr
+}
+
+// Reg is a virtual register handle returned by the builder's allocator.
+type Reg = uint8
+
+// Reserved registers, set up by the simulator before a thread starts and
+// never handed out by the allocator. SPMD applications read them to find
+// their processor id and the machine size.
+const (
+	RegCPU  Reg = 63 // this thread's processor id (0-based)
+	RegNCPU Reg = 62 // number of processors in the simulation
+)
+
+// Builder assembles a Program. Create one with NewBuilder, emit code with
+// the instruction helpers, and call Build to resolve labels.
+type Builder struct {
+	name    string
+	instrs  []isa.Instr
+	labels  map[string]int
+	fixups  []fixup
+	nextLbl int
+
+	inUse [isa.NumRegs]bool
+	err   error
+}
+
+type fixup struct {
+	instr int    // index of instruction whose Imm is the target
+	label string // label name
+}
+
+// NewBuilder returns an empty builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	b := &Builder{name: name, labels: make(map[string]int)}
+	b.inUse[isa.Zero] = true // zero register is never allocatable
+	b.inUse[RegCPU] = true   // reserved: processor id
+	b.inUse[RegNCPU] = true  // reserved: processor count
+	return b
+}
+
+// Err returns the first error recorded while building, if any.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) setErr(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("asm: %s: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Alloc reserves a free virtual register. It records an error if the
+// register file is exhausted.
+func (b *Builder) Alloc() Reg {
+	for r := 1; r < isa.NumRegs; r++ {
+		if !b.inUse[r] {
+			b.inUse[r] = true
+			return Reg(r)
+		}
+	}
+	b.setErr("out of registers (%d in use)", isa.NumRegs)
+	return 1
+}
+
+// AllocN reserves n registers at once.
+func (b *Builder) AllocN(n int) []Reg {
+	regs := make([]Reg, n)
+	for i := range regs {
+		regs[i] = b.Alloc()
+	}
+	return regs
+}
+
+// Free returns a register to the allocator.
+func (b *Builder) Free(regs ...Reg) {
+	for _, r := range regs {
+		if r == isa.Zero {
+			continue
+		}
+		if !b.inUse[r] {
+			b.setErr("double free of r%d", r)
+		}
+		b.inUse[r] = false
+	}
+}
+
+// Scratch allocates a register, passes it to fn, and frees it afterwards.
+func (b *Builder) Scratch(fn func(t Reg)) {
+	t := b.Alloc()
+	fn(t)
+	b.Free(t)
+}
+
+// PC returns the index the next emitted instruction will have.
+func (b *Builder) PC() int { return len(b.instrs) }
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(i isa.Instr) { b.instrs = append(b.instrs, i) }
+
+// Label defines a named position at the current PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.setErr("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = b.PC()
+}
+
+// NewLabel returns a fresh unique label name (not yet placed).
+func (b *Builder) NewLabel(hint string) string {
+	b.nextLbl++
+	return fmt.Sprintf(".%s%d", hint, b.nextLbl)
+}
+
+func (b *Builder) emitBranch(op isa.Op, src Reg, label string) {
+	b.fixups = append(b.fixups, fixup{instr: b.PC(), label: label})
+	b.Emit(isa.Instr{Op: op, Src1: src})
+}
+
+// Build resolves all label references and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		pc, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: %s: undefined label %q", b.name, f.label)
+		}
+		b.instrs[f.instr].Imm = int64(pc)
+	}
+	return &Program{Name: b.name, Instrs: b.instrs}, nil
+}
+
+// MustBuild is Build but panics on error; intended for tests and for
+// application constructors whose inputs are statically known to be valid.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ---- instruction helpers -------------------------------------------------
+
+// Li loads an immediate constant.
+func (b *Builder) Li(d Reg, imm int64) { b.Emit(isa.Instr{Op: isa.OpLi, Dst: d, Imm: imm}) }
+
+// LiF loads a floating-point constant.
+func (b *Builder) LiF(d Reg, f float64) { b.Li(d, int64(isa.Bits(f))) }
+
+// Mov copies a register.
+func (b *Builder) Mov(d, a Reg) { b.Emit(isa.Instr{Op: isa.OpMov, Dst: d, Src1: a}) }
+
+// Three-operand integer ALU helpers.
+func (b *Builder) Add(d, a, c Reg) { b.op3(isa.OpAdd, d, a, c) }
+func (b *Builder) Sub(d, a, c Reg) { b.op3(isa.OpSub, d, a, c) }
+func (b *Builder) Mul(d, a, c Reg) { b.op3(isa.OpMul, d, a, c) }
+func (b *Builder) Div(d, a, c Reg) { b.op3(isa.OpDiv, d, a, c) }
+func (b *Builder) Rem(d, a, c Reg) { b.op3(isa.OpRem, d, a, c) }
+func (b *Builder) And(d, a, c Reg) { b.op3(isa.OpAnd, d, a, c) }
+func (b *Builder) Or(d, a, c Reg)  { b.op3(isa.OpOr, d, a, c) }
+func (b *Builder) Xor(d, a, c Reg) { b.op3(isa.OpXor, d, a, c) }
+func (b *Builder) Shl(d, a, c Reg) { b.op3(isa.OpShl, d, a, c) }
+func (b *Builder) Shr(d, a, c Reg) { b.op3(isa.OpShr, d, a, c) }
+func (b *Builder) Slt(d, a, c Reg) { b.op3(isa.OpSlt, d, a, c) }
+func (b *Builder) Sle(d, a, c Reg) { b.op3(isa.OpSle, d, a, c) }
+func (b *Builder) Seq(d, a, c Reg) { b.op3(isa.OpSeq, d, a, c) }
+func (b *Builder) Sne(d, a, c Reg) { b.op3(isa.OpSne, d, a, c) }
+
+// Immediate-form integer ALU helpers.
+func (b *Builder) Addi(d, a Reg, imm int64) { b.opImm(isa.OpAddi, d, a, imm) }
+func (b *Builder) Muli(d, a Reg, imm int64) { b.opImm(isa.OpMuli, d, a, imm) }
+func (b *Builder) Andi(d, a Reg, imm int64) { b.opImm(isa.OpAndi, d, a, imm) }
+func (b *Builder) Shli(d, a Reg, imm int64) { b.opImm(isa.OpShli, d, a, imm) }
+func (b *Builder) Shri(d, a Reg, imm int64) { b.opImm(isa.OpShri, d, a, imm) }
+func (b *Builder) Slti(d, a Reg, imm int64) { b.opImm(isa.OpSlti, d, a, imm) }
+
+// Floating-point helpers.
+func (b *Builder) FAdd(d, a, c Reg) { b.op3(isa.OpFAdd, d, a, c) }
+func (b *Builder) FSub(d, a, c Reg) { b.op3(isa.OpFSub, d, a, c) }
+func (b *Builder) FMul(d, a, c Reg) { b.op3(isa.OpFMul, d, a, c) }
+func (b *Builder) FDiv(d, a, c Reg) { b.op3(isa.OpFDiv, d, a, c) }
+func (b *Builder) FNeg(d, a Reg)    { b.Emit(isa.Instr{Op: isa.OpFNeg, Dst: d, Src1: a}) }
+func (b *Builder) FAbs(d, a Reg)    { b.Emit(isa.Instr{Op: isa.OpFAbs, Dst: d, Src1: a}) }
+func (b *Builder) FSlt(d, a, c Reg) { b.op3(isa.OpFSlt, d, a, c) }
+func (b *Builder) FSqrt(d, a Reg)   { b.Emit(isa.Instr{Op: isa.OpFSqr, Dst: d, Src1: a}) }
+func (b *Builder) CvtIF(d, a Reg)   { b.Emit(isa.Instr{Op: isa.OpCvtIF, Dst: d, Src1: a}) }
+func (b *Builder) CvtFI(d, a Reg)   { b.Emit(isa.Instr{Op: isa.OpCvtFI, Dst: d, Src1: a}) }
+
+func (b *Builder) op3(op isa.Op, d, a, c Reg) {
+	b.Emit(isa.Instr{Op: op, Dst: d, Src1: a, Src2: c})
+}
+
+func (b *Builder) opImm(op isa.Op, d, a Reg, imm int64) {
+	b.Emit(isa.Instr{Op: op, Dst: d, Src1: a, Imm: imm})
+}
+
+// Ld emits d = mem[base+off].
+func (b *Builder) Ld(d, base Reg, off int64) {
+	b.Emit(isa.Instr{Op: isa.OpLd, Dst: d, Src1: base, Imm: off})
+}
+
+// St emits mem[base+off] = val.
+func (b *Builder) St(base Reg, off int64, val Reg) {
+	b.Emit(isa.Instr{Op: isa.OpSt, Src1: base, Src2: val, Imm: off})
+}
+
+// Beqz branches to label when src is zero.
+func (b *Builder) Beqz(src Reg, label string) { b.emitBranch(isa.OpBeqz, src, label) }
+
+// Bnez branches to label when src is non-zero.
+func (b *Builder) Bnez(src Reg, label string) { b.emitBranch(isa.OpBnez, src, label) }
+
+// J jumps unconditionally to label.
+func (b *Builder) J(label string) { b.emitBranch(isa.OpJ, isa.Zero, label) }
+
+// Halt terminates the thread.
+func (b *Builder) Halt() { b.Emit(isa.Instr{Op: isa.OpHalt}) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.Emit(isa.Instr{Op: isa.OpNop}) }
+
+// Lock acquires the lock variable at base+off.
+func (b *Builder) Lock(base Reg, off int64) {
+	b.Emit(isa.Instr{Op: isa.OpLock, Src1: base, Imm: off})
+}
+
+// Unlock releases the lock variable at base+off.
+func (b *Builder) Unlock(base Reg, off int64) {
+	b.Emit(isa.Instr{Op: isa.OpUnlock, Src1: base, Imm: off})
+}
+
+// Barrier enters global barrier id.
+func (b *Builder) Barrier(id int64) { b.Emit(isa.Instr{Op: isa.OpBarrier, Imm: id}) }
+
+// WaitEv blocks until event id is set.
+func (b *Builder) WaitEv(id int64) { b.Emit(isa.Instr{Op: isa.OpWaitEv, Imm: id}) }
+
+// SetEv sets event id.
+func (b *Builder) SetEv(id int64) { b.Emit(isa.Instr{Op: isa.OpSetEv, Imm: id}) }
+
+// WaitEvR blocks until event (idReg + off) is set; the id is computed at
+// run time (LU waits on one event per pivot column).
+func (b *Builder) WaitEvR(idReg Reg, off int64) {
+	b.Emit(isa.Instr{Op: isa.OpWaitEv, Src1: idReg, Imm: off})
+}
+
+// SetEvR sets event (idReg + off).
+func (b *Builder) SetEvR(idReg Reg, off int64) {
+	b.Emit(isa.Instr{Op: isa.OpSetEv, Src1: idReg, Imm: off})
+}
+
+// ---- structured control --------------------------------------------------
+
+// For emits a bottom-tested counted loop:
+//
+//	for i = lo; i < hi; i += step { body(i) }
+//
+// i is a freshly allocated register passed to body and freed afterwards.
+// lo and hi are registers; step is an immediate. If the trip count can be
+// zero the loop is still correct (it tests before the first iteration).
+func (b *Builder) For(lo, hi Reg, step int64, body func(i Reg)) {
+	i := b.Alloc()
+	t := b.Alloc()
+	loop := b.NewLabel("for")
+	test := b.NewLabel("fortest")
+	b.Mov(i, lo)
+	b.J(test)
+	b.Label(loop)
+	body(i)
+	b.Addi(i, i, step)
+	b.Label(test)
+	b.Slt(t, i, hi)
+	b.Bnez(t, loop)
+	b.Free(i, t)
+}
+
+// ForI is For with immediate bounds.
+func (b *Builder) ForI(lo, hi int64, step int64, body func(i Reg)) {
+	rlo := b.Alloc()
+	rhi := b.Alloc()
+	b.Li(rlo, lo)
+	b.Li(rhi, hi)
+	b.For(rlo, rhi, step, body)
+	b.Free(rlo, rhi)
+}
+
+// While emits a top-tested loop. cond must emit code computing a register
+// that is non-zero to continue; body is the loop body.
+func (b *Builder) While(cond func(t Reg), body func()) {
+	t := b.Alloc()
+	loop := b.NewLabel("while")
+	done := b.NewLabel("wdone")
+	b.Label(loop)
+	cond(t)
+	b.Beqz(t, done)
+	body()
+	b.J(loop)
+	b.Label(done)
+	b.Free(t)
+}
+
+// If emits a conditional: when cond is non-zero run then, otherwise run els
+// (els may be nil).
+func (b *Builder) If(cond Reg, then func(), els func()) {
+	if els == nil {
+		skip := b.NewLabel("endif")
+		b.Beqz(cond, skip)
+		then()
+		b.Label(skip)
+		return
+	}
+	elseL := b.NewLabel("else")
+	endL := b.NewLabel("endif")
+	b.Beqz(cond, elseL)
+	then()
+	b.J(endL)
+	b.Label(elseL)
+	els()
+	b.Label(endL)
+}
+
+// ---- memory layout -------------------------------------------------------
+
+// Layout allocates addresses in the shared virtual address space. It is a
+// bump allocator; Alloc results are aligned to the word size and Region
+// results to the cache-line size (16 bytes) so that distinct regions never
+// false-share a line.
+type Layout struct {
+	next uint64
+}
+
+// LineSize is the cache line size used for region alignment.
+const LineSize = 16
+
+// NewLayout returns a layout starting at the given base address.
+func NewLayout(base uint64) *Layout {
+	l := &Layout{next: base}
+	l.next = align(l.next, LineSize)
+	return l
+}
+
+// Region reserves n bytes aligned to a cache-line boundary and returns the
+// base address.
+func (l *Layout) Region(n uint64) uint64 {
+	l.next = align(l.next, LineSize)
+	addr := l.next
+	l.next += align(n, isa.WordSize)
+	return addr
+}
+
+// Words reserves n 8-byte words aligned to a cache line.
+func (l *Layout) Words(n uint64) uint64 { return l.Region(n * isa.WordSize) }
+
+// Word reserves a single word on its own cache line (used for locks and
+// flags, avoiding false sharing).
+func (l *Layout) Word() uint64 {
+	addr := l.Region(isa.WordSize)
+	l.next = align(l.next, LineSize)
+	return addr
+}
+
+// Next reports the first unallocated address.
+func (l *Layout) Next() uint64 { return l.next }
+
+func align(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }

@@ -1,0 +1,282 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"dynsched/internal/isa"
+)
+
+func TestLabelsResolve(t *testing.T) {
+	b := NewBuilder("t")
+	r := b.Alloc()
+	b.Li(r, 1)
+	b.Label("top")
+	b.Addi(r, r, -1)
+	b.Bnez(r, "top")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[2].Imm != 1 {
+		t.Errorf("branch target = %d, want 1 (label 'top')", p.Instrs[2].Imm)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.J("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("Build() err = %v, want undefined label error", err)
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Label("x")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Fatalf("Build() err = %v, want duplicate label error", err)
+	}
+}
+
+func TestRegisterAllocator(t *testing.T) {
+	b := NewBuilder("t")
+	r1 := b.Alloc()
+	r2 := b.Alloc()
+	if r1 == r2 {
+		t.Fatal("Alloc returned the same register twice")
+	}
+	if r1 == isa.Zero || r2 == isa.Zero {
+		t.Fatal("Alloc returned the zero register")
+	}
+	b.Free(r1)
+	r3 := b.Alloc()
+	if r3 != r1 {
+		t.Errorf("freed register not reused: got r%d, want r%d", r3, r1)
+	}
+}
+
+func TestRegisterExhaustion(t *testing.T) {
+	b := NewBuilder("t")
+	avail := isa.NumRegs - 3 // zero + two reserved registers
+	for i := 0; i < avail; i++ {
+		r := b.Alloc()
+		if r == RegCPU || r == RegNCPU {
+			t.Fatalf("allocator handed out reserved register r%d", r)
+		}
+	}
+	if b.Err() != nil {
+		t.Fatalf("allocating %d regs should succeed: %v", avail, b.Err())
+	}
+	b.Alloc()
+	if b.Err() == nil {
+		t.Fatal("allocator exhaustion not reported")
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	b := NewBuilder("t")
+	r := b.Alloc()
+	b.Free(r)
+	b.Free(r)
+	if b.Err() == nil {
+		t.Fatal("double free not reported")
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	b := NewBuilder("t")
+	lo, hi := b.Alloc(), b.Alloc()
+	b.Li(lo, 0)
+	b.Li(hi, 4)
+	bodyPCs := 0
+	b.For(lo, hi, 1, func(i Reg) {
+		bodyPCs = b.PC()
+		b.Addi(isa.Zero, i, 0) // placeholder body
+	})
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bottom-tested loop: exactly one conditional branch, one unconditional
+	// jump (the entry jump to the test).
+	var cond, uncond int
+	for _, in := range p.Instrs {
+		switch {
+		case isa.IsCondBranch(in.Op):
+			cond++
+		case in.Op == isa.OpJ:
+			uncond++
+		}
+	}
+	if cond != 1 || uncond != 1 {
+		t.Errorf("For emitted %d conditional + %d unconditional branches, want 1+1", cond, uncond)
+	}
+	if bodyPCs == 0 {
+		t.Error("loop body was not emitted")
+	}
+}
+
+func TestLayoutAlignment(t *testing.T) {
+	l := NewLayout(0x1000)
+	a := l.Region(24)
+	bb := l.Region(1)
+	c := l.Word()
+	d := l.Word()
+	for _, addr := range []uint64{a, bb, c, d} {
+		if addr%LineSize != 0 {
+			t.Errorf("region at %#x not line-aligned", addr)
+		}
+	}
+	if bb < a+24 {
+		t.Errorf("regions overlap: a=%#x..%#x b=%#x", a, a+24, bb)
+	}
+	if d-c < LineSize {
+		t.Errorf("Word allocations share a line: c=%#x d=%#x", c, d)
+	}
+}
+
+func TestLayoutWords(t *testing.T) {
+	l := NewLayout(0)
+	a := l.Words(10)
+	b2 := l.Words(1)
+	if b2 < a+10*isa.WordSize {
+		t.Errorf("Words regions overlap: a=%#x b=%#x", a, b2)
+	}
+}
+
+func TestScratchFrees(t *testing.T) {
+	b := NewBuilder("t")
+	var inner Reg
+	b.Scratch(func(r Reg) { inner = r })
+	again := b.Alloc()
+	if again != inner {
+		t.Errorf("Scratch register not freed: got r%d, want r%d", again, inner)
+	}
+}
+
+func TestFloatHelpers(t *testing.T) {
+	b := NewBuilder("f")
+	r := b.Alloc()
+	s := b.Alloc()
+	b.LiF(r, 2.5)
+	b.FAdd(s, r, r)
+	b.FSub(s, s, r)
+	b.FMul(s, s, r)
+	b.FDiv(s, s, r)
+	b.FNeg(s, s)
+	b.FAbs(s, s)
+	b.FSlt(s, r, s)
+	b.FSqrt(s, r)
+	b.CvtIF(s, r)
+	b.CvtFI(s, r)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Op{isa.OpLi, isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv,
+		isa.OpFNeg, isa.OpFAbs, isa.OpFSlt, isa.OpFSqr, isa.OpCvtIF, isa.OpCvtFI, isa.OpHalt}
+	if len(p.Instrs) != len(want) {
+		t.Fatalf("instr count = %d, want %d", len(p.Instrs), len(want))
+	}
+	for i, w := range want {
+		if p.Instrs[i].Op != w {
+			t.Errorf("instr %d = %v, want %v", i, p.Instrs[i].Op, w)
+		}
+	}
+	if isa.F64(uint64(p.Instrs[0].Imm)) != 2.5 {
+		t.Errorf("LiF encoded %v", isa.F64(uint64(p.Instrs[0].Imm)))
+	}
+}
+
+func TestSyncHelpers(t *testing.T) {
+	b := NewBuilder("s")
+	r := b.Alloc()
+	b.Li(r, 7)
+	b.Lock(r, 8)
+	b.Unlock(r, 8)
+	b.Barrier(3)
+	b.WaitEv(4)
+	b.SetEv(4)
+	b.WaitEvR(r, 1)
+	b.SetEvR(r, 1)
+	b.Halt()
+	p := b.MustBuild()
+	if p.Instrs[1].Op != isa.OpLock || p.Instrs[1].Imm != 8 {
+		t.Errorf("lock = %v", p.Instrs[1])
+	}
+	if p.Instrs[6].Op != isa.OpWaitEv || p.Instrs[6].Src1 != r || p.Instrs[6].Imm != 1 {
+		t.Errorf("waitevr = %v", p.Instrs[6])
+	}
+	if p.Instrs[7].Op != isa.OpSetEv || p.Instrs[7].Src1 != r {
+		t.Errorf("setevr = %v", p.Instrs[7])
+	}
+}
+
+func TestIfWithoutElseShape(t *testing.T) {
+	b := NewBuilder("if")
+	c := b.Alloc()
+	b.Li(c, 1)
+	b.If(c, func() { b.Nop() }, nil)
+	b.Halt()
+	p := b.MustBuild()
+	// li, beqz(skip), nop, halt: no unconditional jump without an else.
+	for _, in := range p.Instrs {
+		if in.Op == isa.OpJ {
+			t.Errorf("If without else emitted a jump: %v", p.Instrs)
+		}
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on undefined label")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.J("missing")
+	b.MustBuild()
+}
+
+func TestErrPropagation(t *testing.T) {
+	b := NewBuilder("e")
+	r := b.Alloc()
+	b.Free(r)
+	b.Free(r) // double free recorded
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build ignored the recorded error")
+	}
+}
+
+func TestPCAdvances(t *testing.T) {
+	b := NewBuilder("pc")
+	if b.PC() != 0 {
+		t.Fatalf("initial PC = %d", b.PC())
+	}
+	b.Nop()
+	b.Nop()
+	if b.PC() != 2 {
+		t.Errorf("PC after two instrs = %d", b.PC())
+	}
+}
+
+func TestAllocN(t *testing.T) {
+	b := NewBuilder("n")
+	regs := b.AllocN(5)
+	seen := map[Reg]bool{}
+	for _, r := range regs {
+		if seen[r] {
+			t.Fatalf("AllocN returned duplicate r%d", r)
+		}
+		seen[r] = true
+	}
+	b.Free(regs...)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+}

@@ -1,0 +1,39 @@
+package cpu
+
+import (
+	"dynsched/internal/isa"
+	"dynsched/internal/trace"
+)
+
+// RunBase replays tr through the BASE processor of Figure 3: an in-order
+// machine "which completes each operation before initiating the next one
+// (i.e., no overlap in execution of instructions and memory operations)".
+//
+// Every instruction costs one busy cycle; memory operations add their full
+// transfer latency minus the overlapping execute cycle; synchronization
+// operations add their wait and transfer components. The consistency model
+// is irrelevant for BASE because nothing overlaps anyway.
+func RunBase(tr *trace.Trace) Result {
+	var b Breakdown
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		b.Busy++
+		switch e.Class() {
+		case isa.ClassLoad:
+			b.Read += uint64(e.Latency) - 1
+		case isa.ClassStore:
+			b.Write += uint64(e.Latency) - 1
+		case isa.ClassSync:
+			// Acquires (lock, event wait, barrier) stall for their wait and
+			// transfer components; releases (unlock, event set) are writes
+			// and their latency is charged as write time — "release
+			// operations are included in the total write miss time".
+			if isAcquireClass(e.Instr.Op) {
+				b.Sync += uint64(e.Wait) + uint64(e.Latency) - 1
+			} else {
+				b.Write += uint64(e.Wait) + uint64(e.Latency) - 1
+			}
+		}
+	}
+	return Result{Breakdown: b, Instructions: uint64(len(tr.Events))}
+}

@@ -1,0 +1,660 @@
+package cpu
+
+import (
+	"fmt"
+
+	"dynsched/internal/bpred"
+	"dynsched/internal/consistency"
+	"dynsched/internal/isa"
+	"dynsched/internal/trace"
+)
+
+// The DS model follows Johnson's dynamically scheduled processor (§3.1):
+//
+//   - Decoded instructions enter the reorder buffer (the lookahead window)
+//     in program order, at most IssueWidth per cycle, and retire from its
+//     head in program order (FIFO retirement, providing precise interrupts).
+//   - Register renaming is implicit in the reorder buffer: an instruction
+//     depends on the most recent older in-window producer of each source
+//     register that has not yet produced its value. WAR/WAW hazards do not
+//     exist in the replay because only true dependences are tracked.
+//   - Functional units are 1-cycle (paper assumption); dispatch to them is
+//     limited to IssueWidth per cycle, oldest-ready first.
+//   - Branches are predicted with the configured predictor. A mispredicted
+//     branch stops decode (wrong-path instructions are not in the trace, so
+//     the lost lookahead is modelled by the fetch stall) and decode resumes
+//     the cycle after the branch executes.
+//   - Loads and synchronization accesses issue to a lockup-free, single-
+//     ported cache. Loads may issue speculatively and out of order whenever
+//     the consistency model permits, and may bypass the store buffer with
+//     forwarding on an address match. Stores are held until retirement,
+//     then drain from the store buffer subject to the consistency model
+//     (footnote 2 of the paper).
+//   - An acquire's contention component W cannot begin to elapse before the
+//     acquire reaches the head of the window, reproducing the paper's bound
+//     that contention and load-imbalance time cannot be hidden, while the
+//     memory-transfer component T can be overlapped like any read.
+
+type dsEntry struct {
+	seq      int
+	ev       *trace.Event
+	class    isa.Class
+	kind     consistency.Kind
+	depCount int
+	waiters  []int
+
+	dispatched bool
+	done       bool
+	mop        *memOp
+
+	decodedAt    uint64
+	headAt       uint64 // cycle the entry reached the ROB head (for W walls)
+	headSeen     bool
+	mispredicted bool
+	waitsOnLoad  bool // some register producer was a load (stall attribution)
+}
+
+type dsEventKind uint8
+
+const (
+	evDone    dsEventKind = iota // functional unit completes entry
+	evPerform                    // memory access performs
+)
+
+// Stall attribution categories.
+const (
+	catSync uint8 = iota
+	catRead
+	catWrite
+	catBranch
+	catOther
+)
+
+type dsEvent struct {
+	at   uint64
+	kind dsEventKind
+	seq  int
+}
+
+// eventHeap is a binary min-heap on event time (ties broken by seq so the
+// simulation is deterministic).
+type eventHeap []dsEvent
+
+func (h *eventHeap) push(e dsEvent) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !lessEv((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() dsEvent {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && lessEv(old[l], old[s]) {
+			s = l
+		}
+		if r < n && lessEv(old[r], old[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		old[i], old[s] = old[s], old[i]
+		i = s
+	}
+	return top
+}
+
+func lessEv(a, b dsEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// seqHeap is a min-heap of sequence numbers (oldest-ready-first dispatch).
+type seqHeap []int
+
+func (h *seqHeap) push(s int) {
+	*h = append(*h, s)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[i] >= (*h)[p] {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *seqHeap) pop() int {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && old[l] < old[s] {
+			s = l
+		}
+		if r < n && old[r] < old[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		old[i], old[s] = old[s], old[i]
+		i = s
+	}
+	return top
+}
+
+const maxDSCycles = uint64(1) << 40
+
+// RunDS replays tr through the dynamically scheduled processor.
+func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	pred := cfg.Predictor
+	if pred == nil {
+		pred = bpred.NewPaperBTB()
+	}
+
+	var (
+		cat        [5]uint64 // stall cycles by category (see catSync..catOther)
+		stallStack []uint8   // LIFO of charged stall categories, for burst credit
+		credit     int       // excess retirements not yet converted to credit
+		events     = tr.Events
+		window     = cfg.Window
+		entries    = make([]dsEntry, window)
+
+		headSeq, nextSeq int // ROB occupancy is [headSeq, nextSeq)
+		idx              int // next trace event to decode
+
+		lastWriter [isa.NumRegs]int
+
+		evq      eventHeap
+		dispatch seqHeap
+
+		memq    []*memOp
+		memLive int
+		sbCount int
+		outMiss int // outstanding (issued, unperformed) misses
+
+		fetchBlockedBy = -1
+		mispredicts    uint64
+		prefetches     uint64
+		occupancySum   uint64
+		hist           = NewDelayHistogram()
+		t              uint64
+	)
+	for r := range lastWriter {
+		lastWriter[r] = -1
+	}
+	at := func(seq int) *dsEntry { return &entries[seq%window] }
+	inROB := func(seq int) bool {
+		return seq >= 0 && seq >= headSeq && seq < nextSeq && at(seq).seq == seq
+	}
+	producerPending := func(seq int) bool {
+		// A producer blocks its consumers until its value is available:
+		// loads until they perform, everything else until the FU completes.
+		if !inROB(seq) {
+			return false
+		}
+		e := at(seq)
+		if e.class == isa.ClassLoad {
+			return e.mop == nil || !e.mop.performed
+		}
+		return !e.done
+	}
+	wake := func(e *dsEntry) {
+		for _, w := range e.waiters {
+			we := at(w)
+			if we.seq != w {
+				continue
+			}
+			we.depCount--
+			if we.depCount == 0 {
+				makeReady(we, &dispatch)
+			}
+		}
+		e.waiters = e.waiters[:0]
+	}
+
+	var srcBuf [2]uint8
+
+	for idx < len(events) || headSeq < nextSeq || memLive > 0 {
+		if t >= maxDSCycles {
+			return Result{}, fmt.Errorf("cpu: DS simulation exceeded %d cycles (stuck?)", maxDSCycles)
+		}
+
+		// Phase 1: completions scheduled for this cycle.
+		for len(evq) > 0 && evq[0].at <= t {
+			e := evq.pop()
+			switch e.kind {
+			case evDone:
+				en := at(e.seq)
+				if en.seq != e.seq {
+					break // stale (should not happen; entries retire after done)
+				}
+				en.done = true
+				if en.mispredicted && fetchBlockedBy == e.seq {
+					fetchBlockedBy = -1 // decode resumes this cycle
+				}
+				wake(en)
+			case evPerform:
+				en := at(e.seq)
+				var mop *memOp
+				if en.seq == e.seq && en.mop != nil {
+					mop = en.mop
+				}
+				// Retired stores have left the ROB; find their op in memq.
+				if mop == nil {
+					for _, m := range memq {
+						if m.seq == e.seq && !m.performed {
+							mop = m
+							break
+						}
+					}
+				}
+				if mop == nil || mop.performed {
+					break
+				}
+				mop.performed = true
+				memLive--
+				if mop.usedMSHR {
+					outMiss--
+				}
+				if mop.inSB {
+					sbCount--
+				}
+				if en.seq == e.seq {
+					if en.class == isa.ClassLoad {
+						en.done = true
+					}
+					wake(en)
+				}
+			}
+		}
+
+		// Phase 2: retire completed instructions from the ROB head. Decode
+		// and issue are limited to IssueWidth per cycle (§4.1: "we have
+		// limited the decode and issue rate ... to a maximum of 1
+		// instruction per cycle") but retirement is not: the reorder buffer
+		// deallocates every completed head entry, which is what lets
+		// buffered-up computation drain after a long miss resolves.
+		retired := 0
+		for headSeq < nextSeq {
+			h := at(headSeq)
+			if !h.headSeen {
+				h.headSeen = true
+				h.headAt = t
+			}
+			ok := false
+			switch h.class {
+			case isa.ClassALU, isa.ClassBranch, isa.ClassHalt:
+				ok = h.done
+			case isa.ClassLoad:
+				ok = h.mop.performed
+			case isa.ClassStore:
+				if h.done && sbCount < cfg.StoreBufDepth {
+					h.mop.inSB = true
+					sbCount++
+					ok = true
+				}
+			case isa.ClassSync:
+				if isAcquireClass(h.ev.Instr.Op) {
+					ok = h.mop.performed && t >= h.headAt+uint64(h.mop.wait)
+				} else if h.done && sbCount < cfg.StoreBufDepth {
+					h.mop.inSB = true // releases drain through the store buffer
+					sbCount++
+					ok = true
+				}
+			}
+			if !ok {
+				break
+			}
+			headSeq++
+			retired++
+		}
+
+		// Stall attribution: a cycle with no retirement is classified by the
+		// blocking reason at the reorder-buffer head and pushed on the stall
+		// stack. A cycle that retires k > 1 instructions proves that k-1 of
+		// the most recent stall cycles actually overlapped useful buffered
+		// work, so those cycles are reclassified as busy (popped). This
+		// keeps the busy section equal to the useful cycles, as in Figure 3.
+		if retired == 0 {
+			c := catOther
+			if headSeq < nextSeq {
+				h := at(headSeq)
+				switch h.class {
+				case isa.ClassLoad:
+					if h.mop.issued {
+						c = catRead
+					} else {
+						// Blocked by consistency constraints: charge the
+						// oldest unperformed access holding it up (e.g. an
+						// incomplete write under SC), as in the static
+						// models' attribution.
+						c = oldestPendingCategory(memq)
+					}
+				case isa.ClassStore:
+					if h.waitsOnLoad && !h.done {
+						c = catRead
+					} else {
+						c = catWrite
+					}
+				case isa.ClassSync:
+					if isAcquireClass(h.ev.Instr.Op) {
+						c = catSync
+					} else if h.waitsOnLoad && !h.done {
+						c = catRead
+					} else {
+						c = catWrite
+					}
+				default: // ALU/branch/halt not yet executed
+					if h.waitsOnLoad {
+						c = catRead // tail of a load-use chain
+					} else {
+						c = catBranch // pipeline refill after redirect or cold start
+					}
+				}
+			} else if fetchBlockedBy >= 0 {
+				c = catBranch
+			} else if memLive > 0 && idx >= len(events) {
+				c = catWrite // draining the store buffer at the end
+			}
+			cat[c]++
+			stallStack = append(stallStack, c)
+		} else if retired > cfg.IssueWidth {
+			// A cycle that retires more than the issue width proves that
+			// earlier stall cycles overlapped useful buffered work; credit
+			// them in units of the issue width (one width's worth of
+			// retirements = one cycle of useful work).
+			credit += retired - cfg.IssueWidth
+			for credit >= cfg.IssueWidth && len(stallStack) > 0 {
+				c := stallStack[len(stallStack)-1]
+				stallStack = stallStack[:len(stallStack)-1]
+				cat[c]--
+				credit -= cfg.IssueWidth
+			}
+		}
+
+		occupancySum += uint64(nextSeq - headSeq)
+
+		// Phase 3: dispatch up to IssueWidth ready instructions to FUs.
+		for n := 0; n < cfg.IssueWidth && len(dispatch) > 0; n++ {
+			s := dispatch.pop()
+			en := at(s)
+			if en.seq != s || en.dispatched {
+				n--
+				continue
+			}
+			en.dispatched = true
+			evq.push(dsEvent{at: t + 1, kind: evDone, seq: s})
+		}
+
+		// Phase 4: the cache port issues at most one memory access.
+		issueMem(memq, t, cfg, &evq, &outMiss, hist, &prefetches)
+
+		// Compact the memory queue when mostly dead.
+		if len(memq) > 2*memLive+32 {
+			live := memq[:0]
+			for _, m := range memq {
+				if !m.performed {
+					live = append(live, m)
+				}
+			}
+			for i := len(live); i < len(memq); i++ {
+				memq[i] = nil
+			}
+			memq = live
+		}
+
+		// Phase 5: decode up to IssueWidth instructions into the ROB.
+		for n := 0; n < cfg.IssueWidth; n++ {
+			if idx >= len(events) || fetchBlockedBy >= 0 || nextSeq-headSeq >= window {
+				break
+			}
+			ev := &events[idx]
+			seq := nextSeq
+			en := at(seq)
+			*en = dsEntry{seq: seq, ev: ev, class: ev.Class(), kind: consistency.KindOf(ev.Instr.Op), decodedAt: t, waiters: en.waiters[:0]}
+
+			if !cfg.IgnoreDataDeps {
+				for _, r := range ev.Instr.SrcRegs(srcBuf[:0]) {
+					w := lastWriter[r]
+					if producerPending(w) {
+						p := at(w)
+						p.waiters = append(p.waiters, seq)
+						en.depCount++
+						if p.class == isa.ClassLoad {
+							en.waitsOnLoad = true
+						} else if p.waitsOnLoad {
+							en.waitsOnLoad = true // transitive load-use chain
+						}
+					}
+				}
+			}
+			if ev.Instr.HasDest() {
+				lastWriter[ev.Instr.Dst] = seq
+			}
+
+			switch en.class {
+			case isa.ClassALU, isa.ClassHalt:
+				if en.depCount == 0 {
+					dispatch.push(seq)
+				}
+			case isa.ClassBranch:
+				if isa.IsCondBranch(ev.Instr.Op) {
+					if pred.Predict(ev.PC, ev.Taken) != ev.Taken {
+						en.mispredicted = true
+						mispredicts++
+						fetchBlockedBy = seq
+					}
+					pred.Update(ev.PC, ev.Taken)
+				}
+				if en.depCount == 0 {
+					dispatch.push(seq)
+				}
+			case isa.ClassLoad:
+				en.mop = newMemOp(seq, ev)
+				memq = append(memq, en.mop)
+				memLive++
+				if en.depCount == 0 {
+					en.mop.addrReady = true
+				}
+			case isa.ClassStore:
+				en.mop = newMemOp(seq, ev)
+				memq = append(memq, en.mop)
+				memLive++
+				if en.depCount == 0 {
+					dispatch.push(seq) // compute address+data, then retire to SB
+				}
+			case isa.ClassSync:
+				en.mop = newMemOp(seq, ev)
+				memq = append(memq, en.mop)
+				memLive++
+				if isAcquireClass(ev.Instr.Op) {
+					en.mop.addrReady = true // acquires carry no register deps
+				} else if en.depCount == 0 {
+					dispatch.push(seq)
+				}
+			}
+			if en.mop != nil {
+				en.mop.decodedAt = t
+			}
+			nextSeq++
+			idx++
+		}
+
+		t++
+	}
+
+	// Assemble the final breakdown: total cycles minus attributed stall
+	// cycles is busy (useful) time. For issue width 1 this equals the
+	// instruction count exactly; for wider issue it is the cycles the
+	// machine spent retiring work.
+	stall := cat[catSync] + cat[catRead] + cat[catWrite] + cat[catBranch] + cat[catOther]
+	busy := t - stall
+	bd := Breakdown{
+		Busy:   busy,
+		Sync:   cat[catSync],
+		Read:   cat[catRead],
+		Write:  cat[catWrite],
+		Branch: cat[catBranch],
+		Other:  cat[catOther],
+	}
+
+	res := Result{
+		Breakdown:     bd,
+		Instructions:  uint64(len(events)),
+		Mispredicts:   mispredicts,
+		Prefetches:    prefetches,
+		ReadMissDelay: hist,
+	}
+	if t > 0 {
+		res.AvgOccupancy = float64(occupancySum) / float64(t)
+	}
+	return res, nil
+}
+
+// makeReady transitions an entry whose dependences are satisfied.
+func makeReady(e *dsEntry, dispatch *seqHeap) {
+	switch e.class {
+	case isa.ClassLoad:
+		e.mop.addrReady = true
+	case isa.ClassStore:
+		dispatch.push(e.seq)
+	case isa.ClassSync:
+		if isAcquireClass(e.ev.Instr.Op) {
+			e.mop.addrReady = true
+		} else {
+			dispatch.push(e.seq)
+		}
+	default:
+		dispatch.push(e.seq)
+	}
+}
+
+// issueMem models the single cache port: scan the memory queue in program
+// order, accumulating the consistency summary of older unperformed
+// accesses, and issue the first access that is ready and permitted. With
+// prefetching enabled, an otherwise idle port issues a non-binding prefetch
+// for the oldest consistency-blocked miss instead.
+func issueMem(memq []*memOp, t uint64, cfg Config, evq *eventHeap, outMiss *int, hist *DelayHistogram, prefetches *uint64) {
+	var pend consistency.Pending
+	var pfCand *memOp
+	for i, m := range memq {
+		if m.performed {
+			continue
+		}
+		if !m.issued && memReady(m) {
+			allowed := consistency.MayIssue(cfg.Model, m.kind, pend)
+			if !allowed && cfg.SpeculativeLoads && m.kind == consistency.Load {
+				// Speculative read ([8]): issue anyway; in-order retirement
+				// plus the (unmodelled, rare) rollback preserve the model.
+				allowed = true
+			}
+			if allowed {
+				forwarded := m.kind == consistency.Load &&
+					(consistency.AllowsLoadBypass(cfg.Model) || cfg.SpeculativeLoads) &&
+					forwardableIn(memq[:i], m.addr)
+				lat := uint64(m.latency)
+				if forwarded {
+					lat = 1 // store-buffer forwarding satisfies the load locally
+				} else if m.prefetched {
+					// The prefetch has been bringing the line in; only the
+					// remaining latency is exposed.
+					if el := t - m.prefetchedAt; el >= lat-1 {
+						lat = 1
+					} else {
+						lat -= el
+					}
+				}
+				if lat > 1 && cfg.MSHRs > 0 && *outMiss >= cfg.MSHRs {
+					pendingOf(m, &pend)
+					continue // MSHRs exhausted: this miss cannot start yet
+				}
+				m.issued = true
+				if lat > 1 {
+					m.usedMSHR = true
+					*outMiss++
+				}
+				if m.kind == consistency.Load && m.miss && !forwarded {
+					hist.Observe(t - m.decodedAt)
+				}
+				m.performAt = t + lat
+				evq.push(dsEvent{at: m.performAt, kind: evPerform, seq: m.seq})
+				return
+			}
+			if cfg.Prefetch && pfCand == nil && m.miss && !m.prefetched {
+				pfCand = m // oldest ready access blocked purely by consistency
+			}
+		}
+		pendingOf(m, &pend)
+	}
+	if pfCand != nil {
+		// Non-binding prefetch: warms the cache without performing the
+		// access, so no consistency constraint applies (reference [8]).
+		pfCand.prefetched = true
+		pfCand.prefetchedAt = t
+		*prefetches++
+	}
+}
+
+// oldestPendingCategory classifies the oldest unperformed access in the
+// memory queue for stall attribution.
+func oldestPendingCategory(memq []*memOp) uint8 {
+	for _, m := range memq {
+		if m.performed {
+			continue
+		}
+		switch {
+		case m.kind&consistency.Acquire != 0:
+			return catSync
+		case m.kind&(consistency.Store|consistency.Release) != 0:
+			return catWrite
+		default:
+			return catRead
+		}
+	}
+	return catRead
+}
+
+func memReady(m *memOp) bool {
+	if m.kind&(consistency.Store|consistency.Release) != 0 && m.kind&consistency.Acquire == 0 {
+		return m.inSB
+	}
+	return m.addrReady
+}
+
+// forwardableIn reports whether older contains an unperformed store to addr.
+func forwardableIn(older []*memOp, addr uint64) bool {
+	for _, m := range older {
+		if !m.performed && m.kind&consistency.Store != 0 && m.addr == addr {
+			return true
+		}
+	}
+	return false
+}

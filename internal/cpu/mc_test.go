@@ -1,0 +1,144 @@
+package cpu
+
+import (
+	"testing"
+
+	"dynsched/internal/trace"
+)
+
+// missyTrace builds a trace alternating a read miss with gap busy cycles.
+func missyTrace(misses, gap int) *trace.Trace {
+	b := newTB()
+	for m := 0; m < misses; m++ {
+		b.load(2, 1, uint64(m)*64, true)
+		for i := 0; i < gap; i++ {
+			b.alu(3, 4, 4)
+		}
+	}
+	return b.halt()
+}
+
+func TestMCSingleContextMatchesBlockingModel(t *testing.T) {
+	tr := missyTrace(10, 5)
+	mc, err := RunMC([]*trace.Trace{tr}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Switches != 0 {
+		t.Errorf("single context switched %d times", mc.Switches)
+	}
+	// One context, blocking reads: total = instructions + misses*(lat-1).
+	want := uint64(tr.Len()) + 10*49
+	if mc.Breakdown.Total() != want {
+		t.Errorf("total = %d, want %d", mc.Breakdown.Total(), want)
+	}
+	if mc.Utilization <= 0 || mc.Utilization >= 1 {
+		t.Errorf("utilization = %f", mc.Utilization)
+	}
+}
+
+func TestMCUtilizationGrowsWithContexts(t *testing.T) {
+	mk := func() *trace.Trace { return missyTrace(20, 10) }
+	var prev float64
+	for _, k := range []int{1, 2, 4} {
+		traces := make([]*trace.Trace, k)
+		for i := range traces {
+			traces[i] = mk()
+		}
+		mc, err := RunMC(traces, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc.Utilization < prev {
+			t.Errorf("utilization fell with %d contexts: %f < %f", k, mc.Utilization, prev)
+		}
+		prev = mc.Utilization
+	}
+	if prev < 0.5 {
+		t.Errorf("4 contexts over 10-instruction gaps should exceed 50%% utilization; got %.0f%%", 100*prev)
+	}
+}
+
+func TestMCSwitchPenaltyCosts(t *testing.T) {
+	mk := func() *trace.Trace { return missyTrace(20, 10) }
+	cheap, err := RunMC([]*trace.Trace{mk(), mk(), mk(), mk()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dear, err := RunMC([]*trace.Trace{mk(), mk(), mk(), mk()}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dear.Breakdown.Total() <= cheap.Breakdown.Total() {
+		t.Errorf("higher switch penalty should cost cycles: %d vs %d",
+			dear.Breakdown.Total(), cheap.Breakdown.Total())
+	}
+	if dear.Breakdown.Other <= cheap.Breakdown.Other {
+		t.Errorf("switch overhead not visible in Other: %d vs %d",
+			dear.Breakdown.Other, cheap.Breakdown.Other)
+	}
+}
+
+func TestMCAcquireWaitsBlockContext(t *testing.T) {
+	// One context hits a long acquire; with a second context the pipeline
+	// keeps working through it.
+	mkSync := func() *trace.Trace {
+		b := newTB()
+		b.alu(3, 4, 4)
+		b.lock(256, 400, 50)
+		b.unlock(256, 1)
+		return b.halt()
+	}
+	mkBusy := func() *trace.Trace {
+		b := newTB()
+		for i := 0; i < 300; i++ {
+			b.alu(3, 4, 4)
+		}
+		return b.halt()
+	}
+	solo, err := RunMC([]*trace.Trace{mkSync()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Breakdown.Sync < 400 {
+		t.Errorf("acquire wait not charged: sync = %d", solo.Breakdown.Sync)
+	}
+	duo, err := RunMC([]*trace.Trace{mkSync(), mkBusy()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if duo.Utilization <= solo.Utilization {
+		t.Errorf("second context should absorb the sync wait: %f vs %f",
+			duo.Utilization, solo.Utilization)
+	}
+}
+
+func TestMCValidation(t *testing.T) {
+	if _, err := RunMC(nil, 1); err == nil {
+		t.Error("empty trace list accepted")
+	}
+	if _, err := RunMC([]*trace.Trace{nil}, 1); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := RunMC([]*trace.Trace{missyTrace(1, 1)}, -1); err == nil {
+		t.Error("negative penalty accepted")
+	}
+}
+
+func TestMCInstructionConservation(t *testing.T) {
+	traces := []*trace.Trace{missyTrace(5, 3), missyTrace(7, 2), missyTrace(3, 9)}
+	var want uint64
+	for _, tr := range traces {
+		want += uint64(tr.Len())
+	}
+	mc, err := RunMC(traces, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Instructions != want {
+		t.Errorf("instructions = %d, want %d", mc.Instructions, want)
+	}
+	if mc.Breakdown.Busy != want {
+		t.Errorf("busy = %d, want %d (one cycle per instruction)", mc.Breakdown.Busy, want)
+	}
+}

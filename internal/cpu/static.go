@@ -1,0 +1,346 @@
+package cpu
+
+import (
+	"dynsched/internal/consistency"
+	"dynsched/internal/isa"
+	"dynsched/internal/trace"
+)
+
+// memOp is an in-flight memory or synchronization access shared by the
+// static and dynamic processor models.
+type memOp struct {
+	seq     int // program-order sequence (trace index)
+	op      isa.Op
+	kind    consistency.Kind
+	addr    uint64
+	latency uint32
+	wait    uint32
+	miss    bool
+
+	issued    bool
+	performed bool
+	performAt uint64
+	wall      uint64 // acquires: earliest completion time (stall start + W)
+	destReg   uint8  // loads: destination register (SS first-use tracking)
+
+	// DS-only bookkeeping.
+	addrReady bool   // operands available; the access may be issued
+	inSB      bool   // store/release has retired into the store buffer
+	usedMSHR  bool   // the access occupies a miss-status register
+	decodedAt uint64 // decode cycle (read-miss issue-delay histogram)
+
+	prefetched   bool   // a non-binding prefetch is in flight
+	prefetchedAt uint64 // when the prefetch was issued
+}
+
+// opWindow is the program-ordered set of decoded-but-unperformed accesses
+// against which consistency constraints are evaluated.
+type opWindow struct {
+	ops []*memOp
+}
+
+func (w *opWindow) add(op *memOp) { w.ops = append(w.ops, op) }
+
+// compact removes performed accesses from the front and interior.
+func (w *opWindow) compact() {
+	live := w.ops[:0]
+	for _, op := range w.ops {
+		if !op.performed {
+			live = append(live, op)
+		}
+	}
+	// Zero the tail so the backing array does not pin dead entries.
+	for i := len(live); i < len(w.ops); i++ {
+		w.ops[i] = nil
+	}
+	w.ops = live
+}
+
+// pendingBefore accumulates the consistency.Pending summary of unperformed
+// accesses older than target.
+func pendingOf(op *memOp, p *consistency.Pending) {
+	if op.kind&consistency.Load != 0 {
+		p.Loads++
+	}
+	if op.kind&consistency.Store != 0 {
+		p.Stores++
+	}
+	if op.kind&consistency.Acquire != 0 {
+		p.Acquires++
+	}
+	if op.kind&consistency.Release != 0 {
+		p.Releases++
+	}
+}
+
+// stallCategory classifies a stall on blocked, an unperformed access: if it
+// has issued, the processor is genuinely waiting for memory and the stall
+// belongs to the access's own class; if it has not issued, it is blocked by
+// consistency constraints and the stall is charged to the oldest
+// unperformed access that is holding it up (so, e.g., a load that may not
+// issue past an incomplete write under SC charges write time, matching the
+// paper's Figure 3 attribution).
+func (w *opWindow) stallCategory(blocked *memOp) uint8 {
+	culprit := blocked
+	if !blocked.issued {
+		for _, op := range w.ops {
+			if !op.performed {
+				culprit = op
+				break
+			}
+		}
+	}
+	switch {
+	case culprit.kind&consistency.Acquire != 0:
+		return catSync
+	case culprit.kind&(consistency.Store|consistency.Release) != 0:
+		return catWrite
+	default:
+		return catRead
+	}
+}
+
+// forwardable reports whether an older unperformed store to the same word
+// address precedes target in the window (store-buffer forwarding).
+func (w *opWindow) forwardable(target *memOp) bool {
+	for _, op := range w.ops {
+		if op == target {
+			return false
+		}
+		if op.kind&consistency.Store != 0 && !op.performed && op.addr == target.addr {
+			return true
+		}
+	}
+	return false
+}
+
+// issueOne models the single cache port: it issues at most one eligible
+// access this cycle, scanning in program order so older accesses have
+// priority. eligible filters candidates (e.g. stores must be in the write
+// buffer). It returns the issued op, or nil.
+func (w *opWindow) issueOne(t uint64, model consistency.Model, eligible func(*memOp) bool) *memOp {
+	var pend consistency.Pending
+	for _, op := range w.ops {
+		if op.performed {
+			continue
+		}
+		if !op.issued && eligible(op) && consistency.MayIssue(model, op.kind, pend) {
+			op.issued = true
+			lat := uint64(op.latency)
+			if op.kind == consistency.Load && consistency.AllowsLoadBypass(model) && w.forwardable(op) {
+				lat = 1 // forwarded from the store buffer
+			}
+			op.performAt = t + lat
+			return op
+		}
+		if !op.performed {
+			pendingOf(op, &pend)
+		}
+	}
+	return nil
+}
+
+func newMemOp(seq int, e *trace.Event) *memOp {
+	return &memOp{
+		seq:     seq,
+		op:      e.Instr.Op,
+		kind:    consistency.KindOf(e.Instr.Op),
+		addr:    e.Addr,
+		latency: e.Latency,
+		wait:    e.Wait,
+		miss:    e.Miss,
+		destReg: e.Instr.Dst,
+	}
+}
+
+// RunSSBR replays tr through the statically scheduled, blocking-read
+// processor: reads stall the processor until they perform; writes and
+// releases enter a WriteBufDepth-deep write buffer drained in FIFO order
+// subject to the consistency model; acquires stall until they complete.
+func RunSSBR(tr *trace.Trace, cfg Config) (Result, error) {
+	return runStatic(tr, cfg, false)
+}
+
+// RunSS replays tr through the statically scheduled, non-blocking-read
+// processor: loads enter a ReadBufDepth-deep read buffer and the processor
+// stalls only at the first instruction that uses a pending return value —
+// "the stall is delayed up to the first use of the return value" (§4.1).
+func RunSS(tr *trace.Trace, cfg Config) (Result, error) {
+	return runStatic(tr, cfg, true)
+}
+
+func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+
+	var (
+		bd        Breakdown
+		win       opWindow
+		wbCount   int // stores + releases in the write buffer
+		rbCount   int // pending loads in the read buffer (SS)
+		blockLoad *memOp
+		blockAcq  *memOp
+		regOwner  [isa.NumRegs]*memOp // SS: pending load producing each register
+		srcBuf    [2]uint8
+		t         uint64
+		idx       int
+	)
+
+	events := tr.Events
+	eligible := func(op *memOp) bool { return true } // all window entries are in flight
+
+	for idx < len(events) || len(win.ops) > 0 {
+		// Phase 1: completions.
+		changed := false
+		for _, op := range win.ops {
+			if op.issued && !op.performed && op.performAt <= t {
+				op.performed = true
+				changed = true
+				switch {
+				case op.kind&(consistency.Store|consistency.Release) != 0 && op.kind&consistency.Acquire == 0:
+					wbCount-- // data stores and releases drain from the write buffer
+				case op.kind == consistency.Load:
+					rbCount--
+					if regOwner[op.destReg] == op {
+						regOwner[op.destReg] = nil
+					}
+				}
+			}
+		}
+		if changed {
+			win.compact()
+		}
+
+		// Phase 2: processor (at most one instruction per cycle).
+		stalled := false
+		if blockAcq != nil {
+			if blockAcq.performed && t >= blockAcq.wall {
+				blockAcq = nil
+			} else {
+				bd.Sync++
+				stalled = true
+			}
+		}
+		if !stalled && blockLoad != nil {
+			if blockLoad.performed {
+				blockLoad = nil
+			} else {
+				charge(&bd, win.stallCategory(blockLoad))
+				stalled = true
+			}
+		}
+		if !stalled && blockAcq == nil && blockLoad == nil && idx < len(events) {
+			e := &events[idx]
+			switch e.Class() {
+			case isa.ClassALU, isa.ClassBranch, isa.ClassHalt:
+				if p := pendingProducer(e, &regOwner, srcBuf[:0]); nonBlockingReads && p != nil {
+					charge(&bd, win.stallCategory(p))
+				} else {
+					bd.Busy++
+					idx++
+				}
+			case isa.ClassLoad:
+				pp := pendingProducer(e, &regOwner, srcBuf[:0])
+				switch {
+				case nonBlockingReads && pp != nil:
+					charge(&bd, win.stallCategory(pp))
+				case nonBlockingReads && rbCount >= cfg.ReadBufDepth:
+					bd.Read++ // read buffer full
+				default:
+					op := newMemOp(idx, e)
+					win.add(op)
+					if nonBlockingReads {
+						rbCount++
+						regOwner[op.destReg] = op
+					} else {
+						blockLoad = op
+					}
+					bd.Busy++
+					idx++
+				}
+			case isa.ClassStore:
+				pp := pendingProducer(e, &regOwner, srcBuf[:0])
+				switch {
+				case nonBlockingReads && pp != nil:
+					charge(&bd, win.stallCategory(pp))
+				case wbCount >= cfg.WriteBufDepth:
+					bd.Write++ // write buffer full
+				default:
+					win.add(newMemOp(idx, e))
+					wbCount++
+					bd.Busy++
+					idx++
+				}
+			case isa.ClassSync:
+				if p := pendingProducer(e, &regOwner, srcBuf[:0]); nonBlockingReads && p != nil {
+					charge(&bd, win.stallCategory(p))
+					break
+				}
+				op := newMemOp(idx, e)
+				if isAcquireClass(e.Instr.Op) {
+					op.wall = t + uint64(op.wait)
+					win.add(op)
+					blockAcq = op
+					bd.Busy++
+					idx++
+				} else if wbCount >= cfg.WriteBufDepth {
+					bd.Write++
+				} else {
+					win.add(op) // release drains through the write buffer
+					wbCount++
+					bd.Busy++
+					idx++
+				}
+			}
+		} else if !stalled && blockAcq == nil && blockLoad == nil {
+			// Trace exhausted: draining the window. Charge by the oldest
+			// unperformed access.
+			if len(win.ops) > 0 {
+				switch head := win.ops[0]; {
+				case head.kind&consistency.Acquire != 0:
+					bd.Sync++
+				case head.kind == consistency.Load:
+					bd.Read++
+				default:
+					bd.Write++
+				}
+			}
+		}
+
+		// Phase 3: cache port issues one access.
+		win.issueOne(t, cfg.Model, eligible)
+
+		t++
+	}
+
+	return Result{Breakdown: bd, Instructions: uint64(len(events))}, nil
+}
+
+// pendingProducer returns the outstanding load whose value e needs, or nil
+// (the SS first-use stall).
+func pendingProducer(e *trace.Event, owner *[isa.NumRegs]*memOp, buf []uint8) *memOp {
+	for _, r := range e.Instr.SrcRegs(buf) {
+		if op := owner[r]; op != nil {
+			return op
+		}
+	}
+	return nil
+}
+
+// charge adds one stall cycle of the given category to bd.
+func charge(bd *Breakdown, cat uint8) {
+	switch cat {
+	case catSync:
+		bd.Sync++
+	case catRead:
+		bd.Read++
+	case catWrite:
+		bd.Write++
+	case catBranch:
+		bd.Branch++
+	default:
+		bd.Other++
+	}
+}

@@ -1,0 +1,307 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§3.3 Tables 1-3, §4.1 Figures 3 and 4,
+// the §7 read-latency-hidden summary, the §4.1.3 read-miss delay analysis,
+// and the §4.2 extensions), plus the ablations listed in DESIGN.md.
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"dynsched/internal/apps"
+	"dynsched/internal/bpred"
+	"dynsched/internal/consistency"
+	"dynsched/internal/cpu"
+	"dynsched/internal/mem"
+	"dynsched/internal/tango"
+	"dynsched/internal/trace"
+	"dynsched/internal/vm"
+)
+
+// Options selects the machine and workload parameters shared by all
+// experiments.
+type Options struct {
+	NumCPUs     int        // processors in the multiprocessor simulation (paper: 16)
+	Scale       apps.Scale // problem sizes
+	MissPenalty uint32     // cache miss latency in cycles (paper: 50, §4.2: 100)
+	TraceCPU    int        // which processor's trace is replayed
+	Apps        []string   // applications; nil = all five
+
+	// MemIssueInterval enables the finite-memory-bandwidth extension: the
+	// minimum number of cycles between miss services machine-wide. 0 keeps
+	// the paper's unbounded-bandwidth assumption.
+	MemIssueInterval uint32
+}
+
+// DefaultOptions returns the paper's main configuration at medium scale.
+func DefaultOptions() Options {
+	return Options{NumCPUs: 16, Scale: apps.ScaleMedium, MissPenalty: 50, TraceCPU: 1}
+}
+
+func (o *Options) fillDefaults() {
+	if o.NumCPUs == 0 {
+		o.NumCPUs = 16
+	}
+	if o.MissPenalty == 0 {
+		o.MissPenalty = 50
+	}
+	if o.Apps == nil {
+		o.Apps = apps.Names()
+	}
+}
+
+// AppRun couples a generated trace with the multiprocessor-side statistics.
+type AppRun struct {
+	App    string
+	Trace  *trace.Trace
+	Caches []mem.Stats
+	CPUs   []tango.CPUStats
+}
+
+// Experiment lazily generates and caches application traces.
+type Experiment struct {
+	opts Options
+
+	// cacheBytes overrides the per-processor cache size (0 = the paper's
+	// 64 KB); used by the cache-geometry ablation.
+	cacheBytes uint64
+
+	mu   sync.Mutex
+	runs map[string]*AppRun
+}
+
+// New creates an experiment harness.
+func New(opts Options) *Experiment {
+	opts.fillDefaults()
+	return &Experiment{opts: opts, runs: make(map[string]*AppRun)}
+}
+
+// Options returns the harness options (defaults filled).
+func (e *Experiment) Options() Options { return e.opts }
+
+// Run returns the cached trace for app, generating it on first use.
+func (e *Experiment) Run(app string) (*AppRun, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r, ok := e.runs[app]; ok {
+		return r, nil
+	}
+	a, err := apps.Build(app, e.opts.NumCPUs, e.opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg := tango.Config{
+		NumCPUs:  e.opts.NumCPUs,
+		TraceCPU: e.opts.TraceCPU % e.opts.NumCPUs,
+		Mem:      mem.DefaultConfig(),
+	}
+	cfg.Mem.MissPenalty = e.opts.MissPenalty
+	cfg.MemIssueInterval = e.opts.MemIssueInterval
+	if e.cacheBytes != 0 {
+		cfg.Mem.CacheBytes = e.cacheBytes
+	}
+	var m *vm.PagedMem
+	res, err := tango.Run(a.Progs, func(pm *vm.PagedMem) {
+		m = pm
+		a.Init(pm)
+	}, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", app, err)
+	}
+	if a.Check != nil {
+		if err := a.Check(m); err != nil {
+			return nil, fmt.Errorf("exp: %s failed its result check: %w", app, err)
+		}
+	}
+	if err := res.Trace.Validate(); err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", app, err)
+	}
+	r := &AppRun{App: app, Trace: res.Trace, Caches: res.CacheStats, CPUs: res.CPUStats}
+	e.runs[app] = r
+	return r, nil
+}
+
+// Apps returns the application list for this experiment.
+func (e *Experiment) Apps() []string { return e.opts.Apps }
+
+// Windows is the lookahead-window sweep of the paper.
+var Windows = []int{16, 32, 64, 128, 256}
+
+// Column is one bar of Figure 3 or Figure 4: a processor configuration and
+// its execution-time breakdown, normalized against BASE.
+type Column struct {
+	Label      string
+	Model      consistency.Model
+	Arch       string // "BASE", "SSBR", "SS", "DS"
+	Window     int    // DS only
+	Breakdown  cpu.Breakdown
+	Normalized float64 // total execution time as % of BASE
+	ReadHidden float64 // fraction of BASE read-miss stall removed
+}
+
+func normalize(cols []Column) {
+	if len(cols) == 0 {
+		return
+	}
+	base := cols[0].Breakdown
+	for i := range cols {
+		c := &cols[i]
+		if base.Total() > 0 {
+			c.Normalized = 100 * float64(c.Breakdown.Total()) / float64(base.Total())
+		}
+		if base.Read > 0 {
+			c.ReadHidden = 1 - float64(c.Breakdown.Read)/float64(base.Read)
+		}
+	}
+}
+
+// runArch executes one processor configuration over tr.
+func runArch(tr *trace.Trace, arch string, cfg cpu.Config) (cpu.Result, error) {
+	switch arch {
+	case "BASE":
+		return cpu.RunBase(tr), nil
+	case "SSBR":
+		return cpu.RunSSBR(tr, cfg)
+	case "SS":
+		return cpu.RunSS(tr, cfg)
+	case "DS":
+		return cpu.RunDS(tr, cfg)
+	}
+	return cpu.Result{}, fmt.Errorf("exp: unknown architecture %q", arch)
+}
+
+// Figure3 runs the §4.1 processor/model matrix over one application trace:
+// BASE; SSBR, SS, and DS-256 under SC and PC; SSBR, SS, and the full window
+// sweep under RC.
+func Figure3(tr *trace.Trace) ([]Column, error) {
+	var cols []Column
+	add := func(label string, model consistency.Model, arch string, window int) error {
+		cfg := cpu.Config{Model: model, Window: window}
+		res, err := runArch(tr, arch, cfg)
+		if err != nil {
+			return err
+		}
+		cols = append(cols, Column{Label: label, Model: model, Arch: arch, Window: window, Breakdown: res.Breakdown})
+		return nil
+	}
+	if err := add("BASE", consistency.SC, "BASE", 0); err != nil {
+		return nil, err
+	}
+	for _, m := range []consistency.Model{consistency.SC, consistency.PC} {
+		for _, arch := range []string{"SSBR", "SS"} {
+			if err := add(fmt.Sprintf("%s-%s", m, arch), m, arch, 0); err != nil {
+				return nil, err
+			}
+		}
+		if err := add(fmt.Sprintf("%s-DS256", m), m, "DS", 256); err != nil {
+			return nil, err
+		}
+	}
+	for _, arch := range []string{"SSBR", "SS"} {
+		if err := add(fmt.Sprintf("RC-%s", arch), consistency.RC, arch, 0); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range Windows {
+		if err := add(fmt.Sprintf("RC-DS%d", w), consistency.RC, "DS", w); err != nil {
+			return nil, err
+		}
+	}
+	normalize(cols)
+	return cols, nil
+}
+
+// Figure4 runs the §4.1.3 isolation experiment under RC: the window sweep
+// with perfect branch prediction, then with perfect prediction and ignored
+// data dependences. BASE is included as the reference column.
+func Figure4(tr *trace.Trace) ([]Column, error) {
+	cols := []Column{{Label: "BASE", Arch: "BASE", Breakdown: cpu.RunBase(tr).Breakdown}}
+	for _, noDeps := range []bool{false, true} {
+		for _, w := range Windows {
+			cfg := cpu.Config{
+				Model:          consistency.RC,
+				Window:         w,
+				Predictor:      bpred.Perfect{},
+				IgnoreDataDeps: noDeps,
+			}
+			res, err := cpu.RunDS(tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("PBP-%d", w)
+			if noDeps {
+				label = fmt.Sprintf("PBP+ND-%d", w)
+			}
+			cols = append(cols, Column{Label: label, Model: consistency.RC, Arch: "DS", Window: w, Breakdown: res.Breakdown})
+		}
+	}
+	normalize(cols)
+	return cols, nil
+}
+
+// WindowSweep runs the DS processor across the window sizes under a model
+// (used by the latency-100 and multiple-issue experiments and ablations).
+func WindowSweep(tr *trace.Trace, model consistency.Model, mutate func(*cpu.Config)) ([]Column, error) {
+	cols := []Column{{Label: "BASE", Arch: "BASE", Breakdown: cpu.RunBase(tr).Breakdown}}
+	for _, w := range Windows {
+		cfg := cpu.Config{Model: model, Window: w}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, err := cpu.RunDS(tr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, Column{
+			Label: fmt.Sprintf("%s-DS%d", model, w), Model: model, Arch: "DS",
+			Window: w, Breakdown: res.Breakdown,
+		})
+	}
+	normalize(cols)
+	return cols, nil
+}
+
+// ReadHiddenSummary reproduces the concluding statistic of §7: the average
+// fraction of read latency hidden across the applications for each window
+// size under RC ("33% for window size of 16, 63% for window size of 32, and
+// 81% for window size of 64" in the paper).
+func (e *Experiment) ReadHiddenSummary() (map[int]float64, map[string]map[int]float64, error) {
+	perApp := make(map[string]map[int]float64)
+	avg := make(map[int]float64)
+	for _, app := range e.Apps() {
+		run, err := e.Run(app)
+		if err != nil {
+			return nil, nil, err
+		}
+		base := cpu.RunBase(run.Trace)
+		perApp[app] = make(map[int]float64)
+		for _, w := range Windows {
+			res, err := cpu.RunDS(run.Trace, cpu.Config{Model: consistency.RC, Window: w})
+			if err != nil {
+				return nil, nil, err
+			}
+			h := 0.0
+			if base.Breakdown.Read > 0 {
+				h = 1 - float64(res.Breakdown.Read)/float64(base.Breakdown.Read)
+			}
+			perApp[app][w] = h
+			avg[w] += h / float64(len(e.Apps()))
+		}
+	}
+	return avg, perApp, nil
+}
+
+// ReadMissDelays reproduces the §4.1.3 diagnostic: the distribution of
+// decode-to-issue delays for read misses at window 64 with perfect branch
+// prediction under RC.
+func ReadMissDelays(tr *trace.Trace) (*cpu.DelayHistogram, error) {
+	res, err := cpu.RunDS(tr, cpu.Config{
+		Model:     consistency.RC,
+		Window:    64,
+		Predictor: bpred.Perfect{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.ReadMissDelay, nil
+}

@@ -1,0 +1,290 @@
+// Package mem models the multiprocessor memory hierarchy of the paper's
+// Tango-Lite simulation: per-processor 64 KB direct-mapped write-back data
+// caches with 16-byte lines, kept coherent with an invalidation-based
+// protocol. Cache hits cost 1 cycle and misses a fixed penalty (50 cycles in
+// the paper's main experiments); queueing and network contention are not
+// modelled, exactly as in §3.2 of the paper.
+//
+// The caches are timing-only: they track tags and MSI state but hold no
+// data. Values always live in the functional memory (vm.PagedMem), which is
+// safe because the driving simulator performs writes in a deterministic
+// global order.
+package mem
+
+import "fmt"
+
+// MSI line states.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+// String returns a one-letter state name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Config describes the cache geometry and miss timing.
+type Config struct {
+	CacheBytes  uint64 // per-processor cache capacity (default 64 KiB)
+	LineBytes   uint64 // cache line size (default 16)
+	Ways        int    // set associativity (default 1: direct-mapped, as in the paper)
+	MissPenalty uint32 // cycles for any miss (default 50)
+	HitLatency  uint32 // cycles for a hit (default 1)
+}
+
+// DefaultConfig returns the paper's parameters: 64 KB direct-mapped caches,
+// 16-byte lines, 1-cycle hits, 50-cycle misses.
+func DefaultConfig() Config {
+	return Config{CacheBytes: 64 << 10, LineBytes: 16, MissPenalty: 50, HitLatency: 1}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.CacheBytes == 0 {
+		c.CacheBytes = d.CacheBytes
+	}
+	if c.LineBytes == 0 {
+		c.LineBytes = d.LineBytes
+	}
+	if c.MissPenalty == 0 {
+		c.MissPenalty = d.MissPenalty
+	}
+	if c.HitLatency == 0 {
+		c.HitLatency = d.HitLatency
+	}
+	if c.Ways == 0 {
+		c.Ways = 1
+	}
+}
+
+// Stats counts cache events for one processor.
+type Stats struct {
+	ReadHits    uint64
+	ReadMisses  uint64
+	WriteHits   uint64
+	WriteMisses uint64 // includes ownership upgrades of Shared lines
+	Evictions   uint64
+	Invalidates uint64 // lines invalidated by remote writes
+}
+
+// Reads returns total read accesses.
+func (s Stats) Reads() uint64 { return s.ReadHits + s.ReadMisses }
+
+// Writes returns total write accesses.
+func (s Stats) Writes() uint64 { return s.WriteHits + s.WriteMisses }
+
+type line struct {
+	tag   uint64
+	state State
+	lru   uint64 // last-touch stamp within the set
+}
+
+type cache struct {
+	lines []line // numSets × ways, set-major
+	stats Stats
+	clock uint64
+}
+
+// System is the set of coherent caches over a single shared memory.
+type System struct {
+	cfg      Config
+	caches   []cache
+	numSets  uint64
+	ways     int
+	lineLog2 uint
+}
+
+// NewSystem creates caches for n processors with the given configuration.
+func NewSystem(n int, cfg Config) (*System, error) {
+	cfg.fillDefaults()
+	if cfg.LineBytes == 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("mem: line size %d is not a power of two", cfg.LineBytes)
+	}
+	if cfg.CacheBytes%cfg.LineBytes != 0 {
+		return nil, fmt.Errorf("mem: cache size %d not a multiple of line size %d", cfg.CacheBytes, cfg.LineBytes)
+	}
+	numLines := cfg.CacheBytes / cfg.LineBytes
+	if cfg.Ways < 1 || numLines%uint64(cfg.Ways) != 0 {
+		return nil, fmt.Errorf("mem: %d lines not divisible into %d ways", numLines, cfg.Ways)
+	}
+	s := &System{cfg: cfg, caches: make([]cache, n), numSets: numLines / uint64(cfg.Ways), ways: cfg.Ways}
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		s.lineLog2++
+	}
+	for i := range s.caches {
+		s.caches[i].lines = make([]line, numLines)
+	}
+	return s, nil
+}
+
+// MustNewSystem is NewSystem but panics on configuration errors.
+func MustNewSystem(n int, cfg Config) *System {
+	s, err := NewSystem(n, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the active configuration (with defaults filled in).
+func (s *System) Config() Config { return s.cfg }
+
+// NumCPUs returns the number of caches.
+func (s *System) NumCPUs() int { return len(s.caches) }
+
+// Stats returns the counters for processor cpu.
+func (s *System) Stats(cpu int) Stats { return s.caches[cpu].stats }
+
+func (s *System) index(addr uint64) (set uint64, tag uint64) {
+	lineAddr := addr >> s.lineLog2
+	return lineAddr % s.numSets, lineAddr
+}
+
+// set returns the ways of a set in cache c.
+func (s *System) set(c *cache, set uint64) []line {
+	base := set * uint64(s.ways)
+	return c.lines[base : base+uint64(s.ways)]
+}
+
+// find returns the way holding tag in the set, or nil.
+func find(ways []line, tag uint64) *line {
+	for i := range ways {
+		if ways[i].state != Invalid && ways[i].tag == tag {
+			return &ways[i]
+		}
+	}
+	return nil
+}
+
+// victim returns the way to fill: an invalid way if present, else the LRU.
+func victim(ways []line) *line {
+	v := &ways[0]
+	for i := range ways {
+		if ways[i].state == Invalid {
+			return &ways[i]
+		}
+		if ways[i].lru < v.lru {
+			v = &ways[i]
+		}
+	}
+	return v
+}
+
+// Read performs a read by processor cpu at addr and returns the latency and
+// whether it missed.
+//
+// Protocol: a read hit requires the line in Shared or Modified state. On a
+// miss the line is filled in Shared state; if a remote cache holds the line
+// Modified it is downgraded to Shared (the implied write-back costs nothing
+// extra under the paper's fixed-latency model).
+func (s *System) Read(cpu int, addr uint64) (latency uint32, miss bool) {
+	c := &s.caches[cpu]
+	set, tag := s.index(addr)
+	c.clock++
+	if ln := find(s.set(c, set), tag); ln != nil {
+		ln.lru = c.clock
+		c.stats.ReadHits++
+		return s.cfg.HitLatency, false
+	}
+	// Miss: evict the victim way, fetch the line Shared.
+	ln := victim(s.set(c, set))
+	if ln.state != Invalid {
+		c.stats.Evictions++
+	}
+	for i := range s.caches {
+		if i == cpu {
+			continue
+		}
+		if rl := find(s.set(&s.caches[i], set), tag); rl != nil && rl.state == Modified {
+			rl.state = Shared // downgrade owner
+		}
+	}
+	ln.tag, ln.state, ln.lru = tag, Shared, c.clock
+	c.stats.ReadMisses++
+	return s.cfg.MissPenalty, true
+}
+
+// Write performs a write by processor cpu at addr and returns the latency
+// and whether it missed. A write hit requires Modified state; writing a
+// Shared line is an ownership upgrade and is charged (and counted) as a
+// write miss, since the invalidation round-trip costs the same fixed latency
+// in this model. All remote copies are invalidated.
+func (s *System) Write(cpu int, addr uint64) (latency uint32, miss bool) {
+	c := &s.caches[cpu]
+	set, tag := s.index(addr)
+	c.clock++
+	ln := find(s.set(c, set), tag)
+	if ln != nil && ln.state == Modified {
+		ln.lru = c.clock
+		c.stats.WriteHits++
+		return s.cfg.HitLatency, false
+	}
+	if ln == nil { // fill: evict the victim way
+		ln = victim(s.set(c, set))
+		if ln.state != Invalid {
+			c.stats.Evictions++
+		}
+	}
+	for i := range s.caches {
+		if i == cpu {
+			continue
+		}
+		if rl := find(s.set(&s.caches[i], set), tag); rl != nil {
+			rl.state = Invalid
+			s.caches[i].stats.Invalidates++
+		}
+	}
+	ln.tag, ln.state, ln.lru = tag, Modified, c.clock
+	c.stats.WriteMisses++
+	return s.cfg.MissPenalty, true
+}
+
+// Probe returns the state of addr's line in processor cpu's cache without
+// affecting it (for tests and invariant checks).
+func (s *System) Probe(cpu int, addr uint64) State {
+	set, tag := s.index(addr)
+	if ln := find(s.set(&s.caches[cpu], set), tag); ln != nil {
+		return ln.state
+	}
+	return Invalid
+}
+
+// CheckCoherence verifies the single-writer/multiple-reader invariant for
+// addr's line across all caches: if any cache holds the line Modified, no
+// other cache may hold it in any valid state.
+func (s *System) CheckCoherence(addr uint64) error {
+	set, tag := s.index(addr)
+	owner := -1
+	sharers := 0
+	for i := range s.caches {
+		lnp := find(s.set(&s.caches[i], set), tag)
+		if lnp == nil {
+			continue
+		}
+		ln := *lnp
+		if ln.state == Modified {
+			if owner >= 0 {
+				return fmt.Errorf("mem: two Modified owners (%d and %d) for %#x", owner, i, addr)
+			}
+			owner = i
+		} else {
+			sharers++
+		}
+	}
+	if owner >= 0 && sharers > 0 {
+		return fmt.Errorf("mem: Modified owner %d coexists with %d sharers for %#x", owner, sharers, addr)
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newSys(t *testing.T, n int) *System {
+	t.Helper()
+	s, err := NewSystem(n, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	s := newSys(t, 2)
+	lat, miss := s.Read(0, 0x1000)
+	if !miss || lat != 50 {
+		t.Fatalf("cold read = (%d, %v), want (50, true)", lat, miss)
+	}
+	lat, miss = s.Read(0, 0x1000)
+	if miss || lat != 1 {
+		t.Fatalf("warm read = (%d, %v), want (1, false)", lat, miss)
+	}
+	// Same line, different word: still a hit (16-byte lines).
+	if _, miss = s.Read(0, 0x1008); miss {
+		t.Error("second word of cached line missed")
+	}
+	// Next line: miss.
+	if _, miss = s.Read(0, 0x1010); !miss {
+		t.Error("next line should miss")
+	}
+}
+
+func TestWriteUpgradeCountsAsMiss(t *testing.T) {
+	s := newSys(t, 2)
+	s.Read(0, 0x40) // line now Shared
+	_, miss := s.Write(0, 0x40)
+	if !miss {
+		t.Error("write to Shared line (upgrade) must count as a miss")
+	}
+	if got := s.Stats(0).WriteMisses; got != 1 {
+		t.Errorf("write misses = %d, want 1", got)
+	}
+	if _, miss = s.Write(0, 0x40); miss {
+		t.Error("write to Modified line should hit")
+	}
+}
+
+func TestInvalidationOnRemoteWrite(t *testing.T) {
+	s := newSys(t, 4)
+	for cpu := 0; cpu < 4; cpu++ {
+		s.Read(cpu, 0x80)
+	}
+	s.Write(2, 0x80)
+	for cpu := 0; cpu < 4; cpu++ {
+		st := s.Probe(cpu, 0x80)
+		if cpu == 2 && st != Modified {
+			t.Errorf("writer state = %v, want M", st)
+		}
+		if cpu != 2 && st != Invalid {
+			t.Errorf("cpu %d state = %v, want I after remote write", cpu, st)
+		}
+	}
+	// Reader that was invalidated now misses: a coherence (communication) miss.
+	if _, miss := s.Read(0, 0x80); !miss {
+		t.Error("invalidated copy should miss on re-read")
+	}
+	// And the read downgrades the owner.
+	if st := s.Probe(2, 0x80); st != Shared {
+		t.Errorf("owner after remote read = %v, want S", st)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	s := newSys(t, 1)
+	cfg := s.Config()
+	stride := cfg.CacheBytes // maps to the same set
+	s.Read(0, 0)
+	s.Read(0, stride)
+	if st := s.Probe(0, 0); st != Invalid {
+		t.Errorf("conflicting line not evicted: state %v", st)
+	}
+	if got := s.Stats(0).Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if _, miss := s.Read(0, 0); !miss {
+		t.Error("re-read of evicted line should miss")
+	}
+}
+
+func TestCoherenceInvariantRandomTraffic(t *testing.T) {
+	s := newSys(t, 8)
+	rng := rand.New(rand.NewSource(42))
+	lines := []uint64{0, 16, 32, 0x100, 0x10000, 0x10010}
+	for i := 0; i < 20000; i++ {
+		cpu := rng.Intn(8)
+		addr := lines[rng.Intn(len(lines))] + uint64(rng.Intn(2))*8
+		if rng.Intn(3) == 0 {
+			s.Write(cpu, addr)
+		} else {
+			s.Read(cpu, addr)
+		}
+		for _, l := range lines {
+			if err := s.CheckCoherence(l); err != nil {
+				t.Fatalf("after %d ops: %v", i+1, err)
+			}
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := newSys(t, 2)
+	s.Read(0, 0)
+	s.Read(0, 0)
+	s.Write(0, 0)
+	s.Write(0, 0)
+	st := s.Stats(0)
+	if st.Reads() != 2 || st.Writes() != 2 {
+		t.Errorf("reads/writes = %d/%d, want 2/2", st.Reads(), st.Writes())
+	}
+	if st.ReadMisses != 1 || st.ReadHits != 1 {
+		t.Errorf("read misses/hits = %d/%d, want 1/1", st.ReadMisses, st.ReadHits)
+	}
+	if st.WriteMisses != 1 || st.WriteHits != 1 {
+		t.Errorf("write misses/hits = %d/%d, want 1/1", st.WriteMisses, st.WriteHits)
+	}
+}
+
+func TestBadConfigs(t *testing.T) {
+	if _, err := NewSystem(1, Config{CacheBytes: 1024, LineBytes: 24, MissPenalty: 50, HitLatency: 1}); err == nil {
+		t.Error("non-power-of-two line size accepted")
+	}
+	if _, err := NewSystem(1, Config{CacheBytes: 1000, LineBytes: 16, MissPenalty: 50, HitLatency: 1}); err == nil {
+		t.Error("cache size not multiple of line accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := MustNewSystem(1, Config{})
+	cfg := s.Config()
+	if cfg.CacheBytes != 64<<10 || cfg.LineBytes != 16 || cfg.MissPenalty != 50 || cfg.HitLatency != 1 {
+		t.Errorf("defaults = %+v, want paper parameters", cfg)
+	}
+}
+
+// Property: after any single write by cpu w, a read by another cpu always
+// succeeds and leaves both caches in Shared state.
+func TestWriteThenRemoteReadProperty(t *testing.T) {
+	f := func(addrSeed uint16, w, r uint8) bool {
+		s := MustNewSystem(4, DefaultConfig())
+		addr := uint64(addrSeed) * 8
+		wc, rc := int(w%4), int(r%4)
+		if wc == rc {
+			return true
+		}
+		s.Write(wc, addr)
+		s.Read(rc, addr)
+		return s.Probe(wc, addr) == Shared && s.Probe(rc, addr) == Shared &&
+			s.CheckCoherence(addr) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssociativityRemovesConflicts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ways = 2
+	s := MustNewSystem(1, cfg)
+	stride := cfg.CacheBytes / uint64(cfg.Ways) // same set in a 2-way cache
+	s.Read(0, 0)
+	s.Read(0, stride)
+	// Both lines fit in the two ways.
+	if s.Probe(0, 0) == Invalid || s.Probe(0, stride) == Invalid {
+		t.Fatal("2-way cache evicted one of two set-conflicting lines")
+	}
+	if _, miss := s.Read(0, 0); miss {
+		t.Error("first line should still hit")
+	}
+	// A third conflicting line evicts the LRU (stride, after the re-read
+	// of line 0).
+	s.Read(0, 2*stride)
+	if s.Probe(0, stride) != Invalid {
+		t.Error("LRU line not evicted")
+	}
+	if s.Probe(0, 0) == Invalid {
+		t.Error("MRU line evicted instead of LRU")
+	}
+}
+
+func TestAssociativityLRUOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ways = 4
+	s := MustNewSystem(1, cfg)
+	stride := cfg.CacheBytes / uint64(cfg.Ways)
+	for i := uint64(0); i < 4; i++ {
+		s.Read(0, i*stride)
+	}
+	s.Read(0, 0) // touch line 0: line at stride becomes LRU
+	s.Read(0, 4*stride)
+	if s.Probe(0, stride) != Invalid {
+		t.Error("expected the LRU way (stride) to be evicted")
+	}
+	for _, a := range []uint64{0, 2 * stride, 3 * stride, 4 * stride} {
+		if s.Probe(0, a) == Invalid {
+			t.Errorf("line %#x unexpectedly evicted", a)
+		}
+	}
+}
+
+func TestAssociativityCoherence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ways = 4
+	s := MustNewSystem(4, cfg)
+	rng := rand.New(rand.NewSource(9))
+	lines := []uint64{0, 16, 1 << 14, 1 << 15, 1 << 16}
+	for i := 0; i < 5000; i++ {
+		cpu := rng.Intn(4)
+		addr := lines[rng.Intn(len(lines))]
+		if rng.Intn(2) == 0 {
+			s.Write(cpu, addr)
+		} else {
+			s.Read(cpu, addr)
+		}
+		for _, l := range lines {
+			if err := s.CheckCoherence(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestBadWays(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ways = 3 // 4096 lines not divisible by 3
+	if _, err := NewSystem(1, cfg); err == nil {
+		t.Error("non-dividing way count accepted")
+	}
+}

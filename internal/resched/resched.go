@@ -1,0 +1,221 @@
+// Package resched implements the compiler technique the paper proposes as
+// future work (§5, §7): rescheduling code so that loads issue earlier than
+// their uses, letting a statically scheduled processor with non-blocking
+// reads (the SS model) hide read latency without dynamic-scheduling
+// hardware — "such compiler rescheduling may allow dynamic processors with
+// small windows or statically scheduled processors with non-blocking reads
+// to effectively hide read latency with simpler hardware".
+//
+// The transformation operates on the dynamic trace, hoisting each load as
+// early as legality allows within its basic block (the span since the last
+// branch, synchronization, or halt), mimicking what a list scheduler with
+// conservative alias analysis could have done to the object code:
+//
+//   - a load never moves above the producer of its address register;
+//   - a load never moves above any store (no alias information);
+//   - a load never moves above an instruction that reads or writes the
+//     load's destination register (WAR/WAW in the schedule);
+//   - loads do not cross other loads (memory-order conservatism keeps the
+//     transformed trace legal under every consistency model);
+//   - branches, synchronization, and halts are scheduling barriers.
+package resched
+
+import (
+	"dynsched/internal/isa"
+	"dynsched/internal/trace"
+)
+
+// Level selects how aggressive the scheduler is.
+type Level uint8
+
+const (
+	// Conservative models a basic-block list scheduler with no alias
+	// information: loads stop at branches, synchronization, stores, and
+	// other loads.
+	Conservative Level = iota
+	// Aggressive models a global scheduler with oracle alias analysis
+	// (software pipelining): loads may cross branches and other loads, and
+	// may cross stores to different word addresses. Synchronization remains
+	// a hard barrier, so the transformation is legal under release
+	// consistency.
+	Aggressive
+)
+
+// Stats reports what the scheduler accomplished.
+type Stats struct {
+	Loads         uint64  // total loads considered
+	Hoisted       uint64  // loads moved at least one slot
+	TotalHoist    uint64  // sum of hoist distances (instructions)
+	MaxHoist      uint64  // largest single hoist
+	AvgHoist      float64 // mean hoist distance over hoisted loads
+	MissesHoisted uint64  // hoisted loads that were cache misses
+}
+
+// Reschedule returns a copy of tr with loads hoisted, plus statistics.
+// maxHoist bounds the distance a load may move (0 means unbounded within
+// the basic block). The result has its PC links renumbered so it remains a
+// structurally valid trace for the replay models.
+func Reschedule(tr *trace.Trace, maxHoist int) (*trace.Trace, Stats) {
+	return RescheduleLevel(tr, maxHoist, Conservative)
+}
+
+// RescheduleLevel is Reschedule with an explicit aggressiveness level.
+// Aggressive scheduling should be bounded (maxHoist > 0); unbounded global
+// motion across a whole dynamic trace is not something a compiler could
+// emit. A maxHoist of 0 with Aggressive defaults to 64.
+func RescheduleLevel(tr *trace.Trace, maxHoist int, level Level) (*trace.Trace, Stats) {
+	if level == Aggressive && maxHoist == 0 {
+		maxHoist = 64
+	}
+	out := &trace.Trace{
+		App:         tr.App + "+resched",
+		CPU:         tr.CPU,
+		NumCPUs:     tr.NumCPUs,
+		MissPenalty: tr.MissPenalty,
+		Events:      make([]trace.Event, len(tr.Events)),
+	}
+	copy(out.Events, tr.Events)
+	var st Stats
+
+	events := out.Events
+	blockStart := 0
+	for i := 0; i < len(events); i++ {
+		e := &events[i]
+		switch e.Class() {
+		case isa.ClassBranch, isa.ClassSync, isa.ClassHalt:
+			blockStart = i + 1
+			continue
+		case isa.ClassLoad:
+			st.Loads++
+		default:
+			continue
+		}
+
+		// Find the earliest legal slot for the load at index i. The load
+		// stays at i during the scan; it is moved once, at the end.
+		target := i
+		lo := blockStart
+		if level == Aggressive {
+			lo = 0 // sync ops still block via blocksLoadAggressive
+			if i-maxHoist > lo {
+				lo = i - maxHoist
+			}
+		}
+		for target > lo {
+			var blocked bool
+			if level == Aggressive {
+				blocked = blocksLoadAggressive(&events[target-1], &events[i])
+			} else {
+				blocked = blocksLoad(&events[target-1], &events[i])
+			}
+			if blocked {
+				break
+			}
+			target--
+		}
+		if maxHoist > 0 && i-target > maxHoist {
+			target = i - maxHoist
+		}
+		if target < i {
+			ld := events[i]
+			copy(events[target+1:i+1], events[target:i])
+			events[target] = ld
+			dist := uint64(i - target)
+			st.Hoisted++
+			st.TotalHoist += dist
+			if dist > st.MaxHoist {
+				st.MaxHoist = dist
+			}
+			if ld.Miss {
+				st.MissesHoisted++
+			}
+		}
+	}
+	if st.Hoisted > 0 {
+		st.AvgHoist = float64(st.TotalHoist) / float64(st.Hoisted)
+	}
+
+	relink(out)
+	return out, st
+}
+
+// blocksLoad reports whether the load may not be hoisted above prev.
+func blocksLoad(prev, load *trace.Event) bool {
+	switch prev.Class() {
+	case isa.ClassBranch, isa.ClassSync, isa.ClassHalt, isa.ClassStore, isa.ClassLoad:
+		return true // barriers, stores (no alias info), and memory order
+	}
+	// True dependence: prev produces the load's address register.
+	if prev.Instr.HasDest() && prev.Instr.Dst == load.Instr.Src1 {
+		return true
+	}
+	// Anti/output dependence on the load's destination.
+	var buf [2]uint8
+	for _, r := range prev.Instr.SrcRegs(buf[:0]) {
+		if r == load.Instr.Dst {
+			return true // prev reads the register the load overwrites
+		}
+	}
+	if prev.Instr.HasDest() && prev.Instr.Dst == load.Instr.Dst {
+		return true
+	}
+	return false
+}
+
+// blocksLoadAggressive is the Aggressive-level legality check: only
+// synchronization, true register dependences, WAR/WAW on the destination,
+// and same-address memory operations block the hoist.
+func blocksLoadAggressive(prev, load *trace.Event) bool {
+	switch prev.Class() {
+	case isa.ClassSync, isa.ClassHalt:
+		return true
+	case isa.ClassStore, isa.ClassLoad:
+		if prev.Addr == load.Addr {
+			return true // same word: order must be preserved
+		}
+	case isa.ClassBranch:
+		// Global scheduling may cross branches, but not if the branch reads
+		// the load's destination (the load would clobber the condition).
+		var buf [2]uint8
+		for _, r := range prev.Instr.SrcRegs(buf[:0]) {
+			if r == load.Instr.Dst {
+				return true
+			}
+		}
+		return false
+	}
+	if prev.Instr.HasDest() && prev.Instr.Dst == load.Instr.Src1 {
+		return true
+	}
+	var buf [2]uint8
+	for _, r := range prev.Instr.SrcRegs(buf[:0]) {
+		if r == load.Instr.Dst {
+			return true
+		}
+	}
+	if prev.Instr.HasDest() && prev.Instr.Dst == load.Instr.Dst {
+		return true
+	}
+	return false
+}
+
+// relink renumbers PCs sequentially and fixes branch targets so the
+// transformed trace passes validation; the replay models only need the
+// structural links, not the original static addresses.
+func relink(tr *trace.Trace) {
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		e.PC = int32(i)
+		e.NextPC = int32(i + 1)
+		if e.Class() == isa.ClassBranch && e.Taken {
+			e.Instr.Imm = int64(i + 1)
+		}
+	}
+	if n := len(tr.Events); n > 0 {
+		last := &tr.Events[n-1]
+		last.NextPC = last.PC
+		if last.Class() != isa.ClassHalt {
+			last.NextPC = last.PC + 1
+		}
+	}
+}

@@ -1,0 +1,535 @@
+// Package tango is the execution-driven multiprocessor simulator — the
+// repository's equivalent of the Tango Lite environment of §3.2. It runs one
+// virtual-ISA thread per processor over a shared functional memory, models
+// per-processor coherent caches with a fixed miss penalty, services the
+// synchronization primitives (locks, barriers, events), and emits the
+// annotated dynamic instruction trace for a chosen processor.
+//
+// The simulated processors are, as in the paper, "simple in-order issue
+// processors with blocking reads"; writes are placed in a write buffer and
+// the multiprocessor simulation runs under release consistency, so write
+// latency does not stall the processors but releases drain the write buffer.
+//
+// The simulator is deterministic: processors are stepped in global time
+// order with processor id breaking ties, so a given application and
+// configuration always produces the identical trace.
+package tango
+
+import (
+	"fmt"
+	"math"
+
+	"dynsched/internal/asm"
+	"dynsched/internal/isa"
+	"dynsched/internal/mem"
+	"dynsched/internal/trace"
+	"dynsched/internal/vm"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	NumCPUs  int        // processors (paper: 16)
+	Mem      mem.Config // cache geometry and miss penalty
+	TraceCPU int        // processor whose trace to record; -1 records none
+	// RecordAll records every processor's trace (Result.Traces); used by
+	// the multiple-hardware-contexts experiments, which interleave several
+	// processors' instruction streams on one pipeline.
+	RecordAll bool
+	// MemIssueInterval models finite global memory bandwidth: the minimum
+	// number of cycles between the starts of successive miss services
+	// across the whole machine. 0 (the paper's assumption, §3.2) means
+	// unbounded bandwidth — "queuing and contention effects in the
+	// interconnection network are not modeled". A non-zero value adds
+	// queueing delay to each miss, lengthening its recorded latency.
+	MemIssueInterval uint32
+	// MaxInstrs bounds per-processor dynamic instructions (0 = 2^40); it
+	// guards against runaway application bugs, not normal execution.
+	MaxInstrs uint64
+}
+
+// DefaultConfig returns the paper's machine: 16 processors, 64 KB caches,
+// 50-cycle miss penalty, tracing processor 1 (a representative worker).
+func DefaultConfig() Config {
+	return Config{NumCPUs: 16, Mem: mem.DefaultConfig(), TraceCPU: 1}
+}
+
+// CPUStats summarizes one processor's execution.
+type CPUStats struct {
+	Instructions uint64 // dynamic instructions (busy cycles)
+	FinishCycle  uint64 // absolute time the processor halted
+	SyncWait     uint64 // total W cycles spent blocked on synchronization
+	ReadStall    uint64 // cycles stalled on read misses (beyond the hit cycle)
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Trace      *trace.Trace   // nil when Config.TraceCPU < 0
+	Traces     []*trace.Trace // per-processor traces when Config.RecordAll
+	CacheStats []mem.Stats
+	CPUStats   []CPUStats
+	Cycles     uint64 // finish time of the last processor
+}
+
+const unblocked = math.MaxUint64
+
+// Synchronization object address spaces. Events and barriers are identified
+// by small ids in the ISA; the simulator gives each a cache line of its own
+// in a reserved high region so that coherence traffic on sync variables is
+// modelled like any other shared data.
+const (
+	eventAddrBase   = uint64(1) << 44
+	barrierAddrBase = uint64(1)<<44 + uint64(1)<<40
+)
+
+func eventAddr(id int64) uint64   { return eventAddrBase + uint64(id)*64 }
+func barrierAddr(id int64) uint64 { return barrierAddrBase + uint64(id)*64 }
+
+type lockState struct {
+	held    bool
+	freeAt  uint64 // absolute time the lock becomes free (valid when !held)
+	waiters []*proc
+}
+
+type eventState struct {
+	set     bool
+	setAt   uint64
+	waiters []*proc
+}
+
+type barrierState struct {
+	arrived []*proc
+	maxTime uint64 // latest arrival time so far in this episode
+}
+
+type proc struct {
+	id      int
+	th      *vm.Thread
+	readyAt uint64 // next time this processor can execute an instruction
+	halted  bool
+
+	writesDoneAt uint64 // completion time of the last buffered write
+	blockedAt    uint64 // when the processor blocked (for W accounting)
+	pendingEv    int    // index into trace events to patch on wakeup (-1 none)
+
+	stats CPUStats
+}
+
+// sim carries the full machine state during Run.
+type sim struct {
+	cfg    Config
+	procs  []*proc
+	caches *mem.System
+	shared *vm.PagedMem
+
+	locks    map[uint64]*lockState
+	events   map[int64]*eventState
+	barriers map[int64]*barrierState
+
+	tr  *trace.Trace
+	trs []*trace.Trace // per-processor traces when RecordAll
+
+	memNextFree uint64 // earliest time the memory system accepts a new miss
+}
+
+// Run simulates progs (one per processor; len(progs) must equal
+// cfg.NumCPUs) against a shared memory initialized by memInit (which may be
+// nil). It returns the recorded trace and statistics.
+func Run(progs []*asm.Program, memInit func(m *vm.PagedMem), cfg Config) (*Result, error) {
+	if cfg.NumCPUs <= 0 {
+		return nil, fmt.Errorf("tango: NumCPUs = %d", cfg.NumCPUs)
+	}
+	if len(progs) != cfg.NumCPUs {
+		return nil, fmt.Errorf("tango: %d programs for %d processors", len(progs), cfg.NumCPUs)
+	}
+	if cfg.TraceCPU >= cfg.NumCPUs {
+		return nil, fmt.Errorf("tango: TraceCPU %d out of range", cfg.TraceCPU)
+	}
+	if cfg.MaxInstrs == 0 {
+		cfg.MaxInstrs = 1 << 40
+	}
+
+	caches, err := mem.NewSystem(cfg.NumCPUs, cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	shared := vm.NewPagedMem()
+	if memInit != nil {
+		memInit(shared)
+	}
+
+	s := &sim{
+		cfg:      cfg,
+		caches:   caches,
+		shared:   shared,
+		locks:    make(map[uint64]*lockState),
+		events:   make(map[int64]*eventState),
+		barriers: make(map[int64]*barrierState),
+	}
+	if cfg.TraceCPU >= 0 {
+		s.tr = &trace.Trace{
+			App:         progs[cfg.TraceCPU].Name,
+			CPU:         cfg.TraceCPU,
+			NumCPUs:     cfg.NumCPUs,
+			MissPenalty: caches.Config().MissPenalty,
+		}
+	}
+	if cfg.RecordAll {
+		s.trs = make([]*trace.Trace, cfg.NumCPUs)
+		for i := range s.trs {
+			s.trs[i] = &trace.Trace{
+				App:         progs[i].Name,
+				CPU:         i,
+				NumCPUs:     cfg.NumCPUs,
+				MissPenalty: caches.Config().MissPenalty,
+			}
+		}
+		if cfg.TraceCPU >= 0 {
+			s.tr = s.trs[cfg.TraceCPU] // share storage for the primary trace
+		}
+	}
+	for i := 0; i < cfg.NumCPUs; i++ {
+		th := vm.NewThread(progs[i], shared)
+		th.SetReg(asm.RegCPU, uint64(i))
+		th.SetReg(asm.RegNCPU, uint64(cfg.NumCPUs))
+		s.procs = append(s.procs, &proc{id: i, th: th, pendingEv: -1})
+	}
+
+	if err := s.loop(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Trace: s.tr, Traces: s.trs, Cycles: 0}
+	for i, p := range s.procs {
+		res.CacheStats = append(res.CacheStats, caches.Stats(i))
+		res.CPUStats = append(res.CPUStats, p.stats)
+		if p.stats.FinishCycle > res.Cycles {
+			res.Cycles = p.stats.FinishCycle
+		}
+	}
+	return res, nil
+}
+
+func (s *sim) loop() error {
+	running := len(s.procs)
+	for running > 0 {
+		// Pick the processor with the smallest ready time (lowest id wins
+		// ties) — deterministic global-time-order interleaving.
+		var next *proc
+		for _, p := range s.procs {
+			if p.halted || p.readyAt == unblocked {
+				continue
+			}
+			if next == nil || p.readyAt < next.readyAt {
+				next = p
+			}
+		}
+		if next == nil {
+			return s.deadlockError()
+		}
+		if next.th.Executed >= s.cfg.MaxInstrs {
+			return fmt.Errorf("tango: cpu %d exceeded %d instructions (runaway program?)", next.id, s.cfg.MaxInstrs)
+		}
+		halted, err := s.step(next)
+		if err != nil {
+			return err
+		}
+		if halted {
+			running--
+		}
+	}
+	return nil
+}
+
+func (s *sim) deadlockError() error {
+	blocked := 0
+	for _, p := range s.procs {
+		if !p.halted {
+			blocked++
+		}
+	}
+	return fmt.Errorf("tango: deadlock — %d processors blocked with no pending wakeup", blocked)
+}
+
+// record appends a trace event for p's trace (if recorded) and returns its
+// index, or -1.
+func (s *sim) record(p *proc, ev trace.Event) int {
+	if s.trs != nil {
+		t := s.trs[p.id]
+		t.Events = append(t.Events, ev)
+		return len(t.Events) - 1
+	}
+	if s.tr == nil || p.id != s.cfg.TraceCPU {
+		return -1
+	}
+	s.tr.Events = append(s.tr.Events, ev)
+	return len(s.tr.Events) - 1
+}
+
+// step executes one instruction on p, advancing its clock and possibly
+// blocking it. It reports whether the processor halted.
+func (s *sim) step(p *proc) (bool, error) {
+	t := p.readyAt
+	info, err := p.th.Step()
+	if err != nil {
+		return false, fmt.Errorf("tango: cpu %d: %w", p.id, err)
+	}
+	p.stats.Instructions++
+
+	ev := trace.Event{
+		PC:     int32(info.PC),
+		Instr:  info.Instr,
+		Addr:   info.Addr,
+		Taken:  info.Taken,
+		NextPC: int32(info.NextPC),
+	}
+
+	switch isa.Classify(info.Instr.Op) {
+	case isa.ClassALU, isa.ClassBranch:
+		p.readyAt = t + 1
+		s.record(p, ev)
+
+	case isa.ClassLoad:
+		lat, miss := s.memRead(p.id, info.Addr, t)
+		ev.Latency, ev.Miss = lat, miss
+		p.readyAt = t + uint64(lat) // blocking read
+		if miss {
+			p.stats.ReadStall += uint64(lat - 1)
+		}
+		s.record(p, ev)
+
+	case isa.ClassStore:
+		lat, miss := s.memWrite(p.id, info.Addr, t)
+		ev.Latency, ev.Miss = lat, miss
+		// Buffered write under RC: the processor continues next cycle; the
+		// write completes in the background.
+		done := t + uint64(lat)
+		if done > p.writesDoneAt {
+			p.writesDoneAt = done
+		}
+		p.readyAt = t + 1
+		s.record(p, ev)
+
+	case isa.ClassSync:
+		return false, s.stepSync(p, t, info, ev)
+
+	case isa.ClassHalt:
+		p.halted = true
+		p.stats.FinishCycle = t
+		s.record(p, ev)
+		return true, nil
+	}
+	return false, nil
+}
+
+// stepSync handles the five synchronization opcodes.
+func (s *sim) stepSync(p *proc, t uint64, info vm.StepInfo, ev trace.Event) error {
+	switch info.Instr.Op {
+	case isa.OpLock:
+		l := s.locks[info.Addr]
+		if l == nil {
+			l = &lockState{}
+			s.locks[info.Addr] = l
+		}
+		if !l.held && l.freeAt <= t {
+			// Free now: acquire immediately. The transfer is a read-modify-
+			// write of the lock variable, modelled as an exclusive access.
+			lat, miss := s.memWrite(p.id, info.Addr, t)
+			ev.Latency, ev.Miss = lat, miss
+			l.held = true
+			p.readyAt = t + uint64(lat)
+			s.record(p, ev)
+			return nil
+		}
+		if !l.held { // free, but only at a future time (release in flight)
+			w := l.freeAt - t
+			lat, miss := s.memWrite(p.id, info.Addr, t)
+			ev.Latency, ev.Wait, ev.Miss = lat, uint32(w), miss
+			l.held = true
+			p.readyAt = l.freeAt + uint64(lat)
+			p.stats.SyncWait += w
+			s.record(p, ev)
+			return nil
+		}
+		// Held: block until granted by an unlock.
+		p.blockedAt = t
+		p.readyAt = unblocked
+		p.pendingEv = s.record(p, ev)
+		l.waiters = append(l.waiters, p)
+		return nil
+
+	case isa.OpUnlock:
+		l := s.locks[info.Addr]
+		if l == nil || !l.held {
+			return fmt.Errorf("tango: cpu %d unlocks free lock %#x at pc %d", p.id, info.Addr, info.PC)
+		}
+		// Release semantics: the unlock write is ordered after all pending
+		// writes; the processor itself continues (buffered write).
+		freeAt := t
+		if p.writesDoneAt > freeAt {
+			freeAt = p.writesDoneAt
+		}
+		lat, miss := s.memWrite(p.id, info.Addr, t)
+		ev.Latency, ev.Miss = lat, miss
+		freeAt += uint64(lat)
+		if freeAt > p.writesDoneAt {
+			p.writesDoneAt = freeAt
+		}
+		p.readyAt = t + 1
+		s.record(p, ev)
+
+		if len(l.waiters) > 0 {
+			// Grant to the first waiter (FIFO).
+			w := l.waiters[0]
+			l.waiters = l.waiters[1:]
+			lat, miss := s.memWrite(w.id, info.Addr, freeAt)
+			wait := freeAt - w.blockedAt
+			w.readyAt = freeAt + uint64(lat)
+			w.stats.SyncWait += wait
+			s.patch(w, uint32(lat), uint32(wait), miss)
+		} else {
+			l.held = false
+			l.freeAt = freeAt
+		}
+		return nil
+
+	case isa.OpBarrier:
+		id := int64(info.Addr) // runtime barrier id (reg + imm)
+		b := s.barriers[id]
+		if b == nil {
+			b = &barrierState{}
+			s.barriers[id] = b
+		}
+		// Arrival is a release: drain the write buffer, then update the
+		// barrier counter (a shared line).
+		arrive := t
+		if p.writesDoneAt > arrive {
+			arrive = p.writesDoneAt
+		}
+		lat, _ := s.memWrite(p.id, barrierAddr(id), arrive)
+		arrive += uint64(lat)
+		if arrive > b.maxTime {
+			b.maxTime = arrive
+		}
+		p.blockedAt = t
+		p.readyAt = unblocked
+		p.pendingEv = s.record(p, ev)
+		b.arrived = append(b.arrived, p)
+		if len(b.arrived) == s.cfg.NumCPUs {
+			depart := b.maxTime
+			for _, w := range b.arrived {
+				rlat, rmiss := s.memRead(w.id, barrierAddr(id), depart)
+				wait := depart - w.blockedAt
+				w.readyAt = depart + uint64(rlat)
+				w.stats.SyncWait += wait
+				s.patch(w, uint32(rlat), uint32(wait), rmiss)
+			}
+			b.arrived = b.arrived[:0]
+			b.maxTime = 0
+		}
+		return nil
+
+	case isa.OpWaitEv:
+		id := int64(info.Addr)
+		e := s.events[id]
+		if e != nil && e.set {
+			lat, miss := s.memRead(p.id, eventAddr(id), t)
+			var wait uint64
+			if e.setAt > t { // set-in-flight: value visible only at setAt
+				wait = e.setAt - t
+			}
+			ev.Latency, ev.Wait, ev.Miss = lat, uint32(wait), miss
+			p.readyAt = t + wait + uint64(lat)
+			p.stats.SyncWait += wait
+			s.record(p, ev)
+			return nil
+		}
+		if e == nil {
+			e = &eventState{}
+			s.events[id] = e
+		}
+		p.blockedAt = t
+		p.readyAt = unblocked
+		p.pendingEv = s.record(p, ev)
+		e.waiters = append(e.waiters, p)
+		return nil
+
+	case isa.OpSetEv:
+		id := int64(info.Addr)
+		e := s.events[id]
+		if e == nil {
+			e = &eventState{}
+			s.events[id] = e
+		}
+		setAt := t
+		if p.writesDoneAt > setAt {
+			setAt = p.writesDoneAt
+		}
+		lat, miss := s.memWrite(p.id, eventAddr(id), setAt)
+		setAt += uint64(lat)
+		e.set, e.setAt = true, setAt
+		if setAt > p.writesDoneAt {
+			p.writesDoneAt = setAt
+		}
+		ev.Latency, ev.Miss = lat, miss
+		p.readyAt = t + 1
+		s.record(p, ev)
+		for _, w := range e.waiters {
+			rlat, rmiss := s.memRead(w.id, eventAddr(id), setAt)
+			wait := setAt - w.blockedAt
+			w.readyAt = setAt + uint64(rlat)
+			w.stats.SyncWait += wait
+			s.patch(w, uint32(rlat), uint32(wait), rmiss)
+		}
+		e.waiters = e.waiters[:0]
+		return nil
+	}
+	return fmt.Errorf("tango: unhandled sync op %v", info.Instr.Op)
+}
+
+// memRead performs a timing cache read, adding queueing delay at the
+// memory system when bandwidth is finite.
+func (s *sim) memRead(cpu int, addr uint64, t uint64) (uint32, bool) {
+	lat, miss := s.caches.Read(cpu, addr)
+	if miss {
+		lat += s.queueDelay(t)
+	}
+	return lat, miss
+}
+
+// memWrite is memRead for writes.
+func (s *sim) memWrite(cpu int, addr uint64, t uint64) (uint32, bool) {
+	lat, miss := s.caches.Write(cpu, addr)
+	if miss {
+		lat += s.queueDelay(t)
+	}
+	return lat, miss
+}
+
+// queueDelay reserves a miss-service slot at the memory system and returns
+// the extra cycles this miss spends queued.
+func (s *sim) queueDelay(t uint64) uint32 {
+	if s.cfg.MemIssueInterval == 0 {
+		return 0
+	}
+	start := t
+	if s.memNextFree > start {
+		start = s.memNextFree
+	}
+	s.memNextFree = start + uint64(s.cfg.MemIssueInterval)
+	return uint32(start - t)
+}
+
+// patch fills in the wait/transfer annotation of a blocked processor's
+// pending trace event once it is woken.
+func (s *sim) patch(p *proc, latency, wait uint32, miss bool) {
+	if p.pendingEv < 0 {
+		return
+	}
+	t := s.tr
+	if s.trs != nil {
+		t = s.trs[p.id]
+	}
+	e := &t.Events[p.pendingEv]
+	e.Latency, e.Wait, e.Miss = latency, wait, miss
+	p.pendingEv = -1
+}

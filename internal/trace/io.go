@@ -1,0 +1,160 @@
+package trace
+
+// Binary trace serialization. Traces are expensive to generate at paper
+// scale (they require the full 16-processor simulation), so the tools can
+// save them to disk and replay them repeatedly — the same workflow the
+// paper's trace-driven methodology implies.
+//
+// Format (little endian):
+//
+//	magic   "DSTR"                      4 bytes
+//	version uint32                      currently 1
+//	cpu, numCPUs, missPenalty uint32    12 bytes
+//	appLen  uint32, app bytes           variable
+//	count   uint64                      number of events
+//	events  count × 40-byte records
+//
+// Each event record: PC int32, NextPC int32, Op uint8, Dst uint8,
+// Src1 uint8, Src2 uint8, flags uint8 (bit0 miss, bit1 taken), 3 pad
+// bytes, Imm int64, Addr uint64, Latency uint32, Wait uint32.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dynsched/internal/isa"
+)
+
+var traceMagic = [4]byte{'D', 'S', 'T', 'R'}
+
+// formatVersion is bumped whenever the on-disk layout changes.
+const formatVersion = 1
+
+const eventSize = 40
+
+const (
+	flagMiss  = 1 << 0
+	flagTaken = 1 << 1
+)
+
+// WriteTo serializes the trace. It returns the number of bytes written.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	put := func(b []byte) error {
+		m, err := bw.Write(b)
+		n += int64(m)
+		return err
+	}
+	var hdr [24]byte
+	copy(hdr[0:4], traceMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], formatVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(t.CPU))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(t.NumCPUs))
+	binary.LittleEndian.PutUint32(hdr[16:20], t.MissPenalty)
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(t.App)))
+	if err := put(hdr[:]); err != nil {
+		return n, err
+	}
+	if err := put([]byte(t.App)); err != nil {
+		return n, err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(t.Events)))
+	if err := put(cnt[:]); err != nil {
+		return n, err
+	}
+	var rec [eventSize]byte
+	for i := range t.Events {
+		e := &t.Events[i]
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(e.PC))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(e.NextPC))
+		rec[8] = uint8(e.Instr.Op)
+		rec[9] = e.Instr.Dst
+		rec[10] = e.Instr.Src1
+		rec[11] = e.Instr.Src2
+		var flags uint8
+		if e.Miss {
+			flags |= flagMiss
+		}
+		if e.Taken {
+			flags |= flagTaken
+		}
+		rec[12] = flags
+		rec[13], rec[14], rec[15] = 0, 0, 0
+		binary.LittleEndian.PutUint64(rec[16:24], uint64(e.Instr.Imm))
+		binary.LittleEndian.PutUint64(rec[24:32], e.Addr)
+		binary.LittleEndian.PutUint32(rec[32:36], e.Latency)
+		binary.LittleEndian.PutUint32(rec[36:40], e.Wait)
+		if err := put(rec[:]); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTo and validates it.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", v, formatVersion)
+	}
+	t := &Trace{
+		CPU:         int(binary.LittleEndian.Uint32(hdr[8:12])),
+		NumCPUs:     int(binary.LittleEndian.Uint32(hdr[12:16])),
+		MissPenalty: binary.LittleEndian.Uint32(hdr[16:20]),
+	}
+	appLen := binary.LittleEndian.Uint32(hdr[20:24])
+	if appLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible app name length %d", appLen)
+	}
+	app := make([]byte, appLen)
+	if _, err := io.ReadFull(br, app); err != nil {
+		return nil, fmt.Errorf("trace: short app name: %w", err)
+	}
+	t.App = string(app)
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("trace: short count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(cnt[:])
+	if count > 1<<34 {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	t.Events = make([]Event, count)
+	var rec [eventSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: short event %d: %w", i, err)
+		}
+		e := &t.Events[i]
+		e.PC = int32(binary.LittleEndian.Uint32(rec[0:4]))
+		e.NextPC = int32(binary.LittleEndian.Uint32(rec[4:8]))
+		e.Instr.Op = isa.Op(rec[8])
+		if !e.Instr.Op.Valid() {
+			return nil, fmt.Errorf("trace: event %d has invalid opcode %d", i, rec[8])
+		}
+		e.Instr.Dst = rec[9]
+		e.Instr.Src1 = rec[10]
+		e.Instr.Src2 = rec[11]
+		e.Miss = rec[12]&flagMiss != 0
+		e.Taken = rec[12]&flagTaken != 0
+		e.Instr.Imm = int64(binary.LittleEndian.Uint64(rec[16:24]))
+		e.Addr = binary.LittleEndian.Uint64(rec[24:32])
+		e.Latency = binary.LittleEndian.Uint32(rec[32:36])
+		e.Wait = binary.LittleEndian.Uint32(rec[36:40])
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: deserialized trace invalid: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := miniTrace()
+	orig.App = "roundtrip"
+	orig.CPU = 3
+	orig.NumCPUs = 16
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != orig.App || got.CPU != orig.CPU || got.NumCPUs != orig.NumCPUs ||
+		got.MissPenalty != orig.MissPenalty {
+		t.Errorf("header mismatch: %+v vs %+v", got, orig)
+	}
+	if !reflect.DeepEqual(got.Events, orig.Events) {
+		t.Error("events did not survive the round trip")
+	}
+}
+
+func TestReadTraceBadMagic(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("NOPE0000000000000000000000000000"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadTraceTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := miniTrace().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 3, 10, 30, len(full) - 1} {
+		if _, err := ReadTrace(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadTraceBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := miniTrace().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version field
+	if _, err := ReadTrace(bytes.NewReader(b)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestReadTraceBadOpcode(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := miniTrace().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// First event record begins after 24-byte header + app name + 8-byte count.
+	off := 24 + len("mini") + 8
+	b[off+8] = 0xFF // opcode byte
+	if _, err := ReadTrace(bytes.NewReader(b)); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+}
+
+func TestReadTraceCorruptedLatencyRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := miniTrace().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Zero the latency of the first load (event index 1): Validate fails.
+	off := 24 + len("mini") + 8 + eventSize + 32
+	b[off], b[off+1], b[off+2], b[off+3] = 0, 0, 0, 0
+	if _, err := ReadTrace(bytes.NewReader(b)); err == nil {
+		t.Error("corrupted latency accepted (Validate should reject)")
+	}
+}

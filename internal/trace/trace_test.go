@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"testing"
+
+	"dynsched/internal/bpred"
+	"dynsched/internal/isa"
+)
+
+// Compile-time check: the bpred implementations satisfy trace.Predictor.
+var (
+	_ Predictor = (*bpred.BTB)(nil)
+	_ Predictor = bpred.Perfect{}
+	_ Predictor = bpred.StaticNotTaken{}
+	_ Predictor = bpred.StaticTaken{}
+)
+
+func ev(op isa.Op, pc int32, opts func(*Event)) Event {
+	e := Event{PC: pc, Instr: isa.Instr{Op: op}, NextPC: pc + 1}
+	if opts != nil {
+		opts(&e)
+	}
+	return e
+}
+
+func miniTrace() *Trace {
+	t := &Trace{App: "mini", NumCPUs: 16, MissPenalty: 50}
+	t.Events = []Event{
+		ev(isa.OpLi, 0, nil),
+		ev(isa.OpLd, 1, func(e *Event) { e.Addr = 64; e.Miss = true; e.Latency = 50 }),
+		ev(isa.OpLd, 2, func(e *Event) { e.Addr = 72; e.Latency = 1 }),
+		ev(isa.OpSt, 3, func(e *Event) { e.Addr = 64; e.Miss = true; e.Latency = 50 }),
+		ev(isa.OpBnez, 4, func(e *Event) { e.Instr.Imm = 5; e.Taken = false }),
+		ev(isa.OpLock, 5, func(e *Event) { e.Addr = 128; e.Latency = 50; e.Wait = 10; e.Miss = true }),
+		ev(isa.OpUnlock, 6, func(e *Event) { e.Addr = 128; e.Latency = 1 }),
+		ev(isa.OpBarrier, 7, func(e *Event) { e.Instr.Imm = 1; e.Latency = 50; e.Wait = 100; e.Miss = true }),
+		ev(isa.OpHalt, 8, func(e *Event) { e.NextPC = 8 }),
+	}
+	return t
+}
+
+func TestDataStats(t *testing.T) {
+	d := miniTrace().Data()
+	if d.BusyCycles != 9 {
+		t.Errorf("busy = %d, want 9", d.BusyCycles)
+	}
+	if d.Reads != 2 || d.ReadMisses != 1 {
+		t.Errorf("reads/misses = %d/%d, want 2/1", d.Reads, d.ReadMisses)
+	}
+	if d.Writes != 1 || d.WriteMisses != 1 {
+		t.Errorf("writes/misses = %d/%d, want 1/1", d.Writes, d.WriteMisses)
+	}
+	if got := d.Per1000(d.Reads); got < 222.21 || got > 222.23 {
+		t.Errorf("reads per 1000 = %v, want ~222.22", got)
+	}
+}
+
+func TestSyncStatsExcludedFromData(t *testing.T) {
+	tr := miniTrace()
+	s := tr.Sync()
+	if s.Locks != 1 || s.Unlocks != 1 || s.Barriers != 1 || s.WaitEvents != 0 || s.SetEvents != 0 {
+		t.Errorf("sync = %+v", s)
+	}
+	// Lock/unlock are memory references but must not appear in Table 1 data.
+	d := tr.Data()
+	if d.Reads+d.Writes != 3 {
+		t.Errorf("lock/unlock leaked into data stats: %+v", d)
+	}
+}
+
+func TestBranchStatsPerfect(t *testing.T) {
+	b := miniTrace().Branches(bpred.Perfect{})
+	if b.Branches != 1 || b.CondBranches != 1 {
+		t.Errorf("branches = %+v", b)
+	}
+	if b.Mispredicted != 0 || b.PctCorrect != 100 {
+		t.Errorf("perfect prediction stats = %+v", b)
+	}
+	if b.PctInstructions < 11.1 || b.PctInstructions > 11.2 {
+		t.Errorf("pct instructions = %v, want ~11.11", b.PctInstructions)
+	}
+}
+
+func TestBranchStatsStatic(t *testing.T) {
+	// The single conditional branch is not taken; StaticTaken mispredicts it.
+	b := miniTrace().Branches(bpred.StaticTaken{})
+	if b.Mispredicted != 1 {
+		t.Errorf("mispredicted = %d, want 1", b.Mispredicted)
+	}
+	if b.AvgMispredictDistance != 9 {
+		t.Errorf("avg mispredict distance = %v, want 9", b.AvgMispredictDistance)
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	if err := miniTrace().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateBrokenLink(t *testing.T) {
+	tr := miniTrace()
+	tr.Events[0].NextPC = 42
+	if err := tr.Validate(); err == nil {
+		t.Error("broken PC link not detected")
+	}
+}
+
+func TestValidateZeroLatencyLoad(t *testing.T) {
+	tr := miniTrace()
+	tr.Events[2].Latency = 0
+	if err := tr.Validate(); err == nil {
+		t.Error("zero-latency load not detected")
+	}
+}
+
+func TestValidateMissLatencyMismatch(t *testing.T) {
+	tr := miniTrace()
+	tr.Events[1].Latency = 49
+	if err := tr.Validate(); err == nil {
+		t.Error("miss latency != penalty not detected")
+	}
+}
+
+func TestValidateBranchTarget(t *testing.T) {
+	tr := miniTrace()
+	tr.Events[4].Taken = true // NextPC stays 5 == Imm, so links still hold
+	if err := tr.Validate(); err != nil {
+		t.Errorf("taken branch to PC+1 should validate: %v", err)
+	}
+	tr.Events[4].Instr.Imm = 7
+	if err := tr.Validate(); err == nil {
+		t.Error("taken branch with NextPC != target not detected")
+	}
+}
+
+func TestEventClassification(t *testing.T) {
+	e := ev(isa.OpLock, 0, nil)
+	if !e.IsAcquire() || e.IsRelease() {
+		t.Error("lock should be acquire-only")
+	}
+	e = ev(isa.OpBarrier, 0, nil)
+	if !e.IsAcquire() || !e.IsRelease() {
+		t.Error("barrier should be acquire and release")
+	}
+	if ev(isa.OpLd, 0, nil).Class() != isa.ClassLoad {
+		t.Error("load class wrong")
+	}
+}
