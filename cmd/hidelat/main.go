@@ -31,6 +31,13 @@
 // Flags select the problem scale (-scale small|medium|paper), the miss
 // penalty (-latency), the processor count (-cpus), the traced processor
 // (-tracecpu), and the applications (-apps mp3d,lu,...).
+//
+// Observability flags: -metrics-out writes a JSON snapshot of every counter
+// and histogram the run produced; -pipe-trace-out writes a per-instruction
+// pipeline trace of a representative RC-DS64 replay (Konata, or Chrome
+// trace-event JSON when the path ends in .json); -progress prints a
+// throughput line to stderr every second; -cpuprofile/-memprofile write
+// runtime/pprof profiles.
 package main
 
 import (
@@ -38,10 +45,15 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"dynsched"
 	"dynsched/internal/apps"
 	"dynsched/internal/bpred"
+	"dynsched/internal/consistency"
+	"dynsched/internal/cpu"
 	"dynsched/internal/exp"
+	"dynsched/internal/obs"
 	"dynsched/internal/trace"
 )
 
@@ -60,12 +72,39 @@ func run(args []string) error {
 	traceCPU := fs.Int("tracecpu", 1, "processor whose trace is replayed")
 	appList := fs.String("apps", "", "comma-separated applications (default: all five)")
 	csvOut := fs.Bool("csv", false, "emit figure data as CSV (fig3, fig4, latency100, issue4, wo, scpf)")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
+	pipeOut := fs.String("pipe-trace-out", "", "write a pipeline trace of an RC-DS64 replay of the first app (.json = Chrome trace, else Konata)")
+	progress := fs.Bool("progress", false, "print simulation throughput to stderr every second")
+	cpuProfile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a runtime/pprof heap profile to this file")
+	version := fs.Bool("version", false, "print the version and exit")
+	fs.BoolVar(version, "v", false, "shorthand for -version")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: hidelat [flags] <experiment>\n\n")
+		fmt.Fprintf(fs.Output(), "Experiments: table1 table2 table3 fig3 fig4 summary delays latency100\n")
+		fmt.Fprintf(fs.Output(), "             issue4 wo scpf resched cachegeom contexts contention\n")
+		fmt.Fprintf(fs.Output(), "             machines distances ablate all\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
+	// flag parsing stops at the first positional; re-parse the remainder so
+	// flags may also follow the experiment name (hidelat fig3 -csv).
+	what := ""
+	if fs.NArg() > 0 {
+		what = fs.Arg(0)
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return err
+		}
+	}
+	if *version {
+		fmt.Printf("hidelat %s (dynsched)\n", dynsched.Version)
+		return nil
+	}
+	if what == "" || fs.NArg() != 0 {
 		fs.Usage()
-		return fmt.Errorf("expected exactly one experiment name, got %d args", fs.NArg())
+		return fmt.Errorf("expected exactly one experiment name")
 	}
 
 	scale, err := apps.ParseScale(*scaleName)
@@ -81,10 +120,26 @@ func run(args []string) error {
 	if *appList != "" {
 		opts.Apps = strings.Split(*appList, ",")
 	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if *metricsOut != "" {
+		metricsReg = obs.NewRegistry()
+		opts.Metrics = metricsReg
+	}
+	if *progress {
+		pr := obs.NewProgress(os.Stderr, time.Second)
+		pr.Start()
+		defer pr.Stop()
+		opts.Progress = pr
+	}
 	e := exp.New(opts)
 	emitCSV = *csvOut
 
-	what := fs.Arg(0)
 	steps := map[string]func(*exp.Experiment) error{
 		"table1":     table1,
 		"table2":     table2,
@@ -109,6 +164,7 @@ func run(args []string) error {
 		for _, name := range []string{"table1", "table2", "table3", "fig3", "fig4",
 			"summary", "delays", "distances", "issue4", "wo", "scpf", "resched",
 			"cachegeom", "contexts", "contention", "machines", "ablate"} {
+			stepName = name
 			if err := steps[name](e); err != nil {
 				return err
 			}
@@ -117,7 +173,11 @@ func run(args []string) error {
 		// latency100 needs its own traces; run it with a fresh harness.
 		opts100 := opts
 		opts100.MissPenalty = 100
-		return latency100(exp.New(opts100))
+		stepName = "latency100"
+		if err := latency100(exp.New(opts100)); err != nil {
+			return err
+		}
+		return finishObs(e, *metricsOut, *pipeOut, *memProfile)
 	}
 	step, ok := steps[what]
 	if !ok {
@@ -127,13 +187,60 @@ func run(args []string) error {
 		opts.MissPenalty = 100
 		e = exp.New(opts)
 	}
-	return step(e)
+	stepName = what
+	if err := step(e); err != nil {
+		return err
+	}
+	return finishObs(e, *metricsOut, *pipeOut, *memProfile)
+}
+
+// finishObs writes the observability artifacts requested on the command
+// line: the pipeline trace of a representative replay, the metrics
+// snapshot, and the heap profile.
+func finishObs(e *exp.Experiment, metricsOut, pipeOut, memProfile string) error {
+	if pipeOut != "" {
+		app := e.Apps()[0]
+		run, err := e.Run(app)
+		if err != nil {
+			return err
+		}
+		tracer := obs.NewPipeTracer(0)
+		cfg := cpu.Config{Model: consistency.RC, Window: 64, Pipe: tracer}
+		cfg.Metrics, cfg.MetricsPrefix = metricsReg, "cpu."+app+".RC-DS64."
+		if _, err := cpu.RunDS(run.Trace, cfg); err != nil {
+			return err
+		}
+		if err := obs.WritePipeTraceFile(tracer, pipeOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hidelat: wrote pipeline trace of %s RC-DS64 (%d instructions) to %s\n",
+			app, tracer.Len(), pipeOut)
+	}
+	if metricsOut != "" {
+		if err := obs.WriteMetricsFile(metricsReg, metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hidelat: wrote metrics snapshot to %s\n", metricsOut)
+	}
+	if memProfile != "" {
+		return obs.WriteHeapProfile(memProfile)
+	}
+	return nil
 }
 
 // emitCSV switches the column-based experiments to CSV output.
 var emitCSV bool
 
+// metricsReg collects every experiment's metrics when -metrics-out is set.
+var metricsReg *obs.Registry
+
+// stepName is the experiment currently printing (namespaces its metrics).
+var stepName string
+
 func printColumns(title string, acs []exp.AppColumns) {
+	for _, ac := range acs {
+		exp.RecordColumns(metricsReg, stepName, ac.App, ac.Cols)
+	}
 	if emitCSV {
 		fmt.Print(exp.ColumnsCSV(acs))
 		return

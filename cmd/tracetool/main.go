@@ -16,12 +16,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"dynsched"
 	"dynsched/internal/apps"
 	"dynsched/internal/bpred"
 	"dynsched/internal/consistency"
 	"dynsched/internal/cpu"
 	"dynsched/internal/exp"
+	"dynsched/internal/isa"
+	"dynsched/internal/obs"
 	"dynsched/internal/trace"
 )
 
@@ -32,9 +36,20 @@ func main() {
 	}
 }
 
+func usage() string {
+	return `Usage: tracetool <command> [flags] [file]
+
+Commands:
+  gen     generate a trace on the simulated multiprocessor and save it
+  info    print reference, synchronization, and branch statistics
+  replay  replay a trace through a processor model
+
+Run "tracetool <command> -h" for the command's flags.`
+}
+
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: tracetool gen|info|replay [flags] [file]")
+		return fmt.Errorf("%s", usage())
 	}
 	switch args[0] {
 	case "gen":
@@ -43,8 +58,11 @@ func run(args []string) error {
 		return info(args[1:])
 	case "replay":
 		return replay(args[1:])
+	case "-version", "-v", "version":
+		fmt.Printf("tracetool %s (dynsched)\n", dynsched.Version)
+		return nil
 	}
-	return fmt.Errorf("unknown subcommand %q (want gen, info, or replay)", args[0])
+	return fmt.Errorf("unknown subcommand %q\n%s", args[0], usage())
 }
 
 func gen(args []string) error {
@@ -55,6 +73,8 @@ func gen(args []string) error {
 	cpus := fs.Int("cpus", 16, "number of processors")
 	traceCPU := fs.Int("tracecpu", 1, "processor to trace")
 	out := fs.String("o", "", "output file (required)")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot of the simulation to this file")
+	progress := fs.Bool("progress", false, "print simulation throughput to stderr every second")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,13 +85,30 @@ func gen(args []string) error {
 	if err != nil {
 		return err
 	}
-	e := exp.New(exp.Options{
+	opts := exp.Options{
 		NumCPUs: *cpus, Scale: scale, MissPenalty: uint32(*latency),
 		TraceCPU: *traceCPU, Apps: []string{*app},
-	})
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
+	}
+	if *progress {
+		pr := obs.NewProgress(os.Stderr, time.Second)
+		pr.Start()
+		defer pr.Stop()
+		opts.Progress = pr
+	}
+	e := exp.New(opts)
 	run, err := e.Run(*app)
 	if err != nil {
 		return err
+	}
+	if *metricsOut != "" {
+		if err := obs.WriteMetricsFile(reg, *metricsOut); err != nil {
+			return err
+		}
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -113,9 +150,24 @@ func info(args []string) error {
 		d.Reads, d.Per1000(d.Reads), d.ReadMisses, d.Per1000(d.ReadMisses))
 	fmt.Printf("writes  %8d (%.1f/1000)   write misses %7d (%.1f/1000)\n",
 		d.Writes, d.Per1000(d.Writes), d.WriteMisses, d.Per1000(d.WriteMisses))
+	misses := d.ReadMisses + d.WriteMisses
+	accesses := d.Reads + d.Writes
+	if accesses > 0 {
+		fmt.Printf("miss rate %.2f%% (%d misses / %d accesses)\n",
+			100*float64(misses)/float64(accesses), misses, accesses)
+	}
 	s := tr.Sync()
 	fmt.Printf("locks %d  unlocks %d  waitEv %d  setEv %d  barriers %d\n",
 		s.Locks, s.Unlocks, s.WaitEvents, s.SetEvents, s.Barriers)
+	var syncWait, syncTransfer uint64
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if isa.Classify(e.Instr.Op) == isa.ClassSync {
+			syncWait += uint64(e.Wait)
+			syncTransfer += uint64(e.Latency)
+		}
+	}
+	fmt.Printf("sync cycles: wait (W) %d, transfer (T) %d\n", syncWait, syncTransfer)
 	b := tr.Branches(bpred.NewPaperBTB())
 	fmt.Printf("branches %.1f%% of instructions, %.1f%% predicted, mispredict every %.0f instructions\n",
 		b.PctInstructions, b.PctCorrect, b.AvgMispredictDistance)
@@ -134,6 +186,11 @@ func replay(args []string) error {
 	perfect := fs.Bool("perfect", false, "use the perfect branch predictor")
 	noDeps := fs.Bool("nodeps", false, "ignore register data dependences")
 	prefetch := fs.Bool("prefetch", false, "enable non-binding prefetch")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot of the replay to this file")
+	pipeOut := fs.String("pipe-trace-out", "", "write the replay's pipeline trace (.json = Chrome trace, else Konata)")
+	progress := fs.Bool("progress", false, "print replay throughput to stderr every second")
+	cpuProfile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,10 +212,37 @@ func replay(args []string) error {
 	if *perfect {
 		cfg.Predictor = bpred.Perfect{}
 	}
+	if *cpuProfile != "" {
+		stop, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+		cfg.MetricsPrefix = fmt.Sprintf("cpu.%s.%s-%s%d.", tr.App, model, *arch, *window)
+	}
+	var tracer *obs.PipeTracer
+	if *pipeOut != "" {
+		tracer = obs.NewPipeTracer(0)
+		cfg.Pipe = tracer
+	}
+	if *progress {
+		pr := obs.NewProgress(os.Stderr, time.Second)
+		pr.SetLabel(tr.App)
+		pr.SetTotal(uint64(tr.Len()))
+		pr.Start()
+		defer pr.Stop()
+		cfg.Progress = pr
+	}
 	var res cpu.Result
 	switch *arch {
 	case "BASE":
 		res = cpu.RunBase(tr)
+		cpu.PublishResult(reg, cfg.MetricsPrefix, res)
 	case "SSBR":
 		res, err = cpu.RunSSBR(tr, cfg)
 	case "SS":
@@ -170,6 +254,21 @@ func replay(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *pipeOut != "" {
+		if err := obs.WritePipeTraceFile(tracer, *pipeOut); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := obs.WriteMetricsFile(reg, *metricsOut); err != nil {
+			return err
+		}
+	}
+	if *memProfile != "" {
+		if err := obs.WriteHeapProfile(*memProfile); err != nil {
+			return err
+		}
 	}
 	base := cpu.RunBase(tr)
 	b := res.Breakdown

@@ -38,6 +38,8 @@ package dynsched
 
 import (
 	"fmt"
+	"io"
+	"time"
 
 	"dynsched/internal/apps"
 	"dynsched/internal/bpred"
@@ -45,10 +47,15 @@ import (
 	"dynsched/internal/cpu"
 	"dynsched/internal/exp"
 	"dynsched/internal/mem"
+	"dynsched/internal/obs"
 	"dynsched/internal/tango"
 	"dynsched/internal/trace"
 	"dynsched/internal/vm"
 )
+
+// Version identifies the dynsched build; the command-line tools report it
+// via their -version flags.
+const Version = "0.2.0"
 
 // Consistency models (§2.1 of the paper).
 const (
@@ -104,6 +111,53 @@ type TraceOptions struct {
 	Scale       Scale
 	MissPenalty uint32
 	TraceCPU    int
+
+	// Observe attaches optional instrumentation to the simulation.
+	Observe Observe
+}
+
+// Metrics is a registry of named counters, gauges, and histograms that the
+// simulators publish into when attached via Observe. It is safe for
+// concurrent use and exports one JSON snapshot via WriteJSON.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a Metrics registry.
+type MetricsSnapshot = obs.Snapshot
+
+// PipeTracer records per-instruction pipeline events (decode, issue,
+// complete, retire cycles) into a bounded ring buffer, exportable as a
+// Konata log (WriteKonata) or Chrome trace-event JSON (WriteChromeTrace).
+type PipeTracer = obs.PipeTracer
+
+// Progress is a background ticker printing instruction and simulated-cycle
+// throughput while a simulation runs.
+type Progress = obs.Progress
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewPipeTracer creates a pipeline tracer keeping the last capacity
+// instructions (0 = a 65536-entry default).
+func NewPipeTracer(capacity int) *PipeTracer { return obs.NewPipeTracer(capacity) }
+
+// NewProgress creates a progress ticker writing to w every interval
+// (0 = every second). Call Start to launch it and Stop for a final summary.
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	return obs.NewProgress(w, interval)
+}
+
+// Observe bundles the optional instrumentation sinks accepted by
+// GenerateTrace and Run. The zero value disables all instrumentation; every
+// field may be set independently.
+type Observe struct {
+	// Metrics receives the run's counters and histograms.
+	Metrics *Metrics
+	// MetricsPrefix namespaces this run's metric names (e.g. "cpu.lu.").
+	MetricsPrefix string
+	// Pipe records per-instruction pipeline events (processor replays only).
+	Pipe *PipeTracer
+	// Progress receives periodic instruction/cycle counts.
+	Progress *Progress
 }
 
 // TraceRun couples a generated trace with multiprocessor-side statistics.
@@ -131,7 +185,11 @@ func GenerateTrace(app string, opts TraceOptions) (*TraceRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := tango.Config{NumCPUs: opts.NumCPUs, TraceCPU: opts.TraceCPU, Mem: mem.DefaultConfig()}
+	cfg := tango.Config{
+		NumCPUs: opts.NumCPUs, TraceCPU: opts.TraceCPU, Mem: mem.DefaultConfig(),
+		Metrics: opts.Observe.Metrics, MetricsPrefix: opts.Observe.MetricsPrefix,
+		Progress: opts.Observe.Progress,
+	}
 	cfg.Mem.MissPenalty = opts.MissPenalty
 	var m *vm.PagedMem
 	res, err := tango.Run(a.Progs, func(pm *vm.PagedMem) {
@@ -168,6 +226,9 @@ type ProcessorConfig struct {
 	// StoreBufDepth, WriteBufDepth, ReadBufDepth, and MSHRs override the
 	// default buffer sizes (16, 16, 16, unlimited).
 	StoreBufDepth, WriteBufDepth, ReadBufDepth, MSHRs int
+
+	// Observe attaches optional instrumentation to the replay.
+	Observe Observe
 }
 
 // Run replays tr through the configured processor model.
@@ -181,13 +242,19 @@ func Run(tr *Trace, pc ProcessorConfig) (Result, error) {
 		WriteBufDepth:  pc.WriteBufDepth,
 		ReadBufDepth:   pc.ReadBufDepth,
 		MSHRs:          pc.MSHRs,
+		Metrics:        pc.Observe.Metrics,
+		MetricsPrefix:  pc.Observe.MetricsPrefix,
+		Pipe:           pc.Observe.Pipe,
+		Progress:       pc.Observe.Progress,
 	}
 	if pc.PerfectBranches {
 		cfg.Predictor = bpred.Perfect{}
 	}
 	switch pc.Arch {
 	case ArchBase, "":
-		return cpu.RunBase(tr), nil
+		res := cpu.RunBase(tr)
+		cpu.PublishResult(pc.Observe.Metrics, pc.Observe.MetricsPrefix, res)
+		return res, nil
 	case ArchSSBR:
 		return cpu.RunSSBR(tr, cfg)
 	case ArchSS:

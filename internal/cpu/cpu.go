@@ -25,6 +25,7 @@ import (
 
 	"dynsched/internal/consistency"
 	"dynsched/internal/isa"
+	"dynsched/internal/obs"
 	"dynsched/internal/trace"
 )
 
@@ -181,6 +182,21 @@ type Config struct {
 	// one; it is therefore an upper bound on the technique's benefit.
 	// Stores still obey the model, and loads still retire in order.
 	SpeculativeLoads bool
+
+	// Observability hooks (package obs). All are optional, nil by default,
+	// and nil-safe: a disabled replay pays only nil checks.
+
+	// Metrics receives the run's counters and occupancy/delay histograms.
+	Metrics *obs.Registry
+	// MetricsPrefix prefixes every metric name this replay registers
+	// (e.g. "cpu.lu.RC-DS64.").
+	MetricsPrefix string
+	// Pipe records per-instruction pipeline events at retirement for
+	// Konata / Chrome-trace export.
+	Pipe *obs.PipeTracer
+	// Progress receives periodic instruction/cycle counts for the -progress
+	// ticker.
+	Progress *obs.Progress
 }
 
 func (c Config) withDefaults() Config {

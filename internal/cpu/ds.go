@@ -6,6 +6,7 @@ import (
 	"dynsched/internal/bpred"
 	"dynsched/internal/consistency"
 	"dynsched/internal/isa"
+	"dynsched/internal/obs"
 	"dynsched/internal/trace"
 )
 
@@ -48,6 +49,8 @@ type dsEntry struct {
 	mop        *memOp
 
 	decodedAt    uint64
+	issuedAt     uint64 // dispatch to a functional unit (pipeline tracing)
+	doneAt       uint64 // FU completion / load perform (pipeline tracing)
 	headAt       uint64 // cycle the entry reached the ROB head (for W walls)
 	headSeen     bool
 	mispredicted bool
@@ -210,6 +213,16 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 	for r := range lastWriter {
 		lastWriter[r] = -1
 	}
+
+	// Observability: live occupancy/delay histograms when metrics are on.
+	var robHist, sbHist, mshrHist, delayHist *obs.Histogram
+	if cfg.Metrics != nil {
+		p := cfg.MetricsPrefix
+		robHist = cfg.Metrics.Histogram(obs.Prefixed(p, "rob.occupancy"), occupancyBuckets...)
+		sbHist = cfg.Metrics.Histogram(obs.Prefixed(p, "storebuf.occupancy"), bufferBuckets...)
+		mshrHist = cfg.Metrics.Histogram(obs.Prefixed(p, "mshr.outstanding"), bufferBuckets...)
+		delayHist = cfg.Metrics.Histogram(obs.Prefixed(p, "readmiss.issue_delay"), delayBuckets...)
+	}
 	at := func(seq int) *dsEntry { return &entries[seq%window] }
 	inROB := func(seq int) bool {
 		return seq >= 0 && seq >= headSeq && seq < nextSeq && at(seq).seq == seq
@@ -257,6 +270,7 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 					break // stale (should not happen; entries retire after done)
 				}
 				en.done = true
+				en.doneAt = t
 				if en.mispredicted && fetchBlockedBy == e.seq {
 					fetchBlockedBy = -1 // decode resumes this cycle
 				}
@@ -291,6 +305,7 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 					if en.class == isa.ClassLoad {
 						en.done = true
 					}
+					en.doneAt = t
 					wake(en)
 				}
 			}
@@ -332,6 +347,23 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 			}
 			if !ok {
 				break
+			}
+			if cfg.Pipe != nil {
+				issued := h.issuedAt
+				if h.mop != nil && h.mop.issuedAt > issued {
+					issued = h.mop.issuedAt // cache-port issue time for loads/acquires
+				}
+				cfg.Pipe.Record(obs.InstrRecord{
+					Seq:        uint64(h.seq),
+					PC:         h.ev.PC,
+					Disasm:     h.ev.Instr.String(),
+					DecodedAt:  h.decodedAt,
+					IssuedAt:   issued,
+					DoneAt:     h.doneAt,
+					RetiredAt:  t,
+					Miss:       h.ev.Miss,
+					Mispredict: h.mispredicted,
+				})
 			}
 			headSeq++
 			retired++
@@ -401,6 +433,14 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 		}
 
 		occupancySum += uint64(nextSeq - headSeq)
+		if cfg.Metrics != nil {
+			robHist.Observe(uint64(nextSeq - headSeq))
+			sbHist.Observe(uint64(sbCount))
+			mshrHist.Observe(uint64(outMiss))
+		}
+		if cfg.Progress != nil && t&(obs.PublishEvery-1) == 0 {
+			cfg.Progress.Publish(uint64(headSeq), t)
+		}
 
 		// Phase 3: dispatch up to IssueWidth ready instructions to FUs.
 		for n := 0; n < cfg.IssueWidth && len(dispatch) > 0; n++ {
@@ -411,11 +451,12 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 				continue
 			}
 			en.dispatched = true
+			en.issuedAt = t
 			evq.push(dsEvent{at: t + 1, kind: evDone, seq: s})
 		}
 
 		// Phase 4: the cache port issues at most one memory access.
-		issueMem(memq, t, cfg, &evq, &outMiss, hist, &prefetches)
+		issueMem(memq, t, cfg, &evq, &outMiss, hist, delayHist, &prefetches)
 
 		// Compact the memory queue when mostly dead.
 		if len(memq) > 2*memLive+32 {
@@ -536,6 +577,8 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 	if t > 0 {
 		res.AvgOccupancy = float64(occupancySum) / float64(t)
 	}
+	cfg.Progress.Publish(uint64(headSeq), t)
+	publishResult(&cfg, res)
 	return res, nil
 }
 
@@ -562,7 +605,7 @@ func makeReady(e *dsEntry, dispatch *seqHeap) {
 // accesses, and issue the first access that is ready and permitted. With
 // prefetching enabled, an otherwise idle port issues a non-binding prefetch
 // for the oldest consistency-blocked miss instead.
-func issueMem(memq []*memOp, t uint64, cfg Config, evq *eventHeap, outMiss *int, hist *DelayHistogram, prefetches *uint64) {
+func issueMem(memq []*memOp, t uint64, cfg Config, evq *eventHeap, outMiss *int, hist *DelayHistogram, delayHist *obs.Histogram, prefetches *uint64) {
 	var pend consistency.Pending
 	var pfCand *memOp
 	for i, m := range memq {
@@ -597,12 +640,14 @@ func issueMem(memq []*memOp, t uint64, cfg Config, evq *eventHeap, outMiss *int,
 					continue // MSHRs exhausted: this miss cannot start yet
 				}
 				m.issued = true
+				m.issuedAt = t
 				if lat > 1 {
 					m.usedMSHR = true
 					*outMiss++
 				}
 				if m.kind == consistency.Load && m.miss && !forwarded {
 					hist.Observe(t - m.decodedAt)
+					delayHist.Observe(t - m.decodedAt)
 				}
 				m.performAt = t + lat
 				evq.push(dsEvent{at: m.performAt, kind: evPerform, seq: m.seq})

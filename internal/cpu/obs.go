@@ -1,0 +1,47 @@
+package cpu
+
+// Metrics publication shared by the processor models. Each Run* function
+// calls publishResult on exit when Config.Metrics is set; occupancy and
+// delay histograms are observed live inside the cycle loops.
+
+import "dynsched/internal/obs"
+
+// Histogram bucket bounds for the occupancy metrics. Occupancies are small
+// integers, so power-of-two buckets up to the largest window give useful
+// resolution everywhere.
+var (
+	occupancyBuckets = []uint64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+	bufferBuckets    = []uint64{0, 1, 2, 4, 8, 16, 32}
+	delayBuckets     = []uint64{0, 10, 20, 30, 40, 50, 100}
+)
+
+// PublishResult registers a replay's aggregate outcome into reg under
+// prefix: the Figure 3 stall breakdown as counters plus instruction,
+// mispredict, and prefetch totals. It is exported because the BASE model
+// takes no Config, so its callers publish through this helper directly.
+// Safe with a nil registry.
+func PublishResult(reg *obs.Registry, prefix string, res Result) {
+	if reg == nil {
+		return
+	}
+	b := res.Breakdown
+	set := func(name string, v uint64) { reg.Counter(obs.Prefixed(prefix, name)).Set(v) }
+	set("cycles.total", b.Total())
+	set("cycles.busy", b.Busy)
+	set("stall.sync", b.Sync)
+	set("stall.read", b.Read)
+	set("stall.write", b.Write)
+	set("stall.branch", b.Branch)
+	set("stall.other", b.Other)
+	set("instructions", res.Instructions)
+	set("branch.mispredicts", res.Mispredicts)
+	set("prefetches", res.Prefetches)
+	if res.AvgOccupancy > 0 {
+		reg.Gauge(obs.Prefixed(prefix, "rob.avg_occupancy")).Set(res.AvgOccupancy)
+	}
+}
+
+// publishResult is PublishResult for models driven by a Config.
+func publishResult(cfg *Config, res Result) {
+	PublishResult(cfg.Metrics, cfg.MetricsPrefix, res)
+}

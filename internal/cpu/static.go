@@ -3,6 +3,7 @@ package cpu
 import (
 	"dynsched/internal/consistency"
 	"dynsched/internal/isa"
+	"dynsched/internal/obs"
 	"dynsched/internal/trace"
 )
 
@@ -19,6 +20,7 @@ type memOp struct {
 
 	issued    bool
 	performed bool
+	issuedAt  uint64 // cycle the cache port accepted the access (tracing)
 	performAt uint64
 	wall      uint64 // acquires: earliest completion time (stall start + W)
 	destReg   uint8  // loads: destination register (SS first-use tracking)
@@ -126,6 +128,7 @@ func (w *opWindow) issueOne(t uint64, model consistency.Model, eligible func(*me
 		}
 		if !op.issued && eligible(op) && consistency.MayIssue(model, op.kind, pend) {
 			op.issued = true
+			op.issuedAt = t
 			lat := uint64(op.latency)
 			if op.kind == consistency.Load && consistency.AllowsLoadBypass(model) && w.forwardable(op) {
 				lat = 1 // forwarded from the store buffer
@@ -191,6 +194,26 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 	events := tr.Events
 	eligible := func(op *memOp) bool { return true } // all window entries are in flight
 
+	// Observability: buffer-occupancy histograms when metrics are enabled,
+	// and per-instruction pipeline records. Non-memory instructions occupy
+	// the in-order pipeline for exactly their accept cycle; memory and
+	// synchronization accesses are recorded when they perform, spanning
+	// decode → port issue → completion.
+	var wbHist, rbHist *obs.Histogram
+	if cfg.Metrics != nil {
+		p := cfg.MetricsPrefix
+		wbHist = cfg.Metrics.Histogram(obs.Prefixed(p, "writebuf.occupancy"), bufferBuckets...)
+		rbHist = cfg.Metrics.Histogram(obs.Prefixed(p, "readbuf.occupancy"), bufferBuckets...)
+	}
+	recordAccept := func(e *trace.Event) {
+		if cfg.Pipe != nil {
+			cfg.Pipe.Record(obs.InstrRecord{
+				Seq: uint64(idx), PC: e.PC, Disasm: e.Instr.String(),
+				DecodedAt: t, IssuedAt: t, DoneAt: t, RetiredAt: t,
+			})
+		}
+	}
+
 	for idx < len(events) || len(win.ops) > 0 {
 		// Phase 1: completions.
 		changed := false
@@ -198,6 +221,15 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 			if op.issued && !op.performed && op.performAt <= t {
 				op.performed = true
 				changed = true
+				if cfg.Pipe != nil {
+					e := &events[op.seq]
+					cfg.Pipe.Record(obs.InstrRecord{
+						Seq: uint64(op.seq), PC: e.PC, Disasm: e.Instr.String(),
+						DecodedAt: op.decodedAt, IssuedAt: op.issuedAt,
+						DoneAt: op.performAt, RetiredAt: op.performAt,
+						Miss: e.Miss,
+					})
+				}
 				switch {
 				case op.kind&(consistency.Store|consistency.Release) != 0 && op.kind&consistency.Acquire == 0:
 					wbCount-- // data stores and releases drain from the write buffer
@@ -238,6 +270,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 				if p := pendingProducer(e, &regOwner, srcBuf[:0]); nonBlockingReads && p != nil {
 					charge(&bd, win.stallCategory(p))
 				} else {
+					recordAccept(e)
 					bd.Busy++
 					idx++
 				}
@@ -250,6 +283,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 					bd.Read++ // read buffer full
 				default:
 					op := newMemOp(idx, e)
+					op.decodedAt = t
 					win.add(op)
 					if nonBlockingReads {
 						rbCount++
@@ -268,7 +302,9 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 				case wbCount >= cfg.WriteBufDepth:
 					bd.Write++ // write buffer full
 				default:
-					win.add(newMemOp(idx, e))
+					op := newMemOp(idx, e)
+					op.decodedAt = t
+					win.add(op)
 					wbCount++
 					bd.Busy++
 					idx++
@@ -279,6 +315,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 					break
 				}
 				op := newMemOp(idx, e)
+				op.decodedAt = t
 				if isAcquireClass(e.Instr.Op) {
 					op.wall = t + uint64(op.wait)
 					win.add(op)
@@ -312,10 +349,21 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		// Phase 3: cache port issues one access.
 		win.issueOne(t, cfg.Model, eligible)
 
+		if cfg.Metrics != nil {
+			wbHist.Observe(uint64(wbCount))
+			rbHist.Observe(uint64(rbCount))
+		}
+		if cfg.Progress != nil && t&(obs.PublishEvery-1) == 0 {
+			cfg.Progress.Publish(uint64(idx), t)
+		}
+
 		t++
 	}
 
-	return Result{Breakdown: bd, Instructions: uint64(len(events))}, nil
+	res := Result{Breakdown: bd, Instructions: uint64(len(events))}
+	cfg.Progress.Publish(uint64(idx), t)
+	publishResult(&cfg, res)
+	return res, nil
 }
 
 // pendingProducer returns the outstanding load whose value e needs, or nil

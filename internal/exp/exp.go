@@ -7,12 +7,14 @@ package exp
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"dynsched/internal/apps"
 	"dynsched/internal/bpred"
 	"dynsched/internal/consistency"
 	"dynsched/internal/cpu"
 	"dynsched/internal/mem"
+	"dynsched/internal/obs"
 	"dynsched/internal/tango"
 	"dynsched/internal/trace"
 	"dynsched/internal/vm"
@@ -31,6 +33,14 @@ type Options struct {
 	// minimum number of cycles between miss services machine-wide. 0 keeps
 	// the paper's unbounded-bandwidth assumption.
 	MemIssueInterval uint32
+
+	// Metrics, when non-nil, collects the observability counters of every
+	// trace generation driven through this harness (the "tango." machine
+	// metrics plus per-app "exp.<app>." wall-time and throughput gauges).
+	Metrics *obs.Registry
+	// Progress, when non-nil, receives executed-instruction and simulated-
+	// cycle progress from the trace-generation simulations.
+	Progress *obs.Progress
 }
 
 // DefaultOptions returns the paper's main configuration at medium scale.
@@ -94,19 +104,33 @@ func (e *Experiment) Run(app string) (*AppRun, error) {
 		NumCPUs:  e.opts.NumCPUs,
 		TraceCPU: e.opts.TraceCPU % e.opts.NumCPUs,
 		Mem:      mem.DefaultConfig(),
+		Metrics:  e.opts.Metrics,
+		Progress: e.opts.Progress,
 	}
+	cfg.MetricsPrefix = "tango." + app + "."
 	cfg.Mem.MissPenalty = e.opts.MissPenalty
 	cfg.MemIssueInterval = e.opts.MemIssueInterval
 	if e.cacheBytes != 0 {
 		cfg.Mem.CacheBytes = e.cacheBytes
 	}
+	e.opts.Progress.SetLabel(app)
 	var m *vm.PagedMem
+	start := time.Now()
 	res, err := tango.Run(a.Progs, func(pm *vm.PagedMem) {
 		m = pm
 		a.Init(pm)
 	}, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", app, err)
+	}
+	if reg := e.opts.Metrics; reg != nil {
+		wall := time.Since(start).Seconds()
+		pre := "exp." + app + "."
+		reg.Gauge(pre + "wall_seconds").Set(wall)
+		if wall > 0 {
+			reg.Gauge(pre + "cycles_per_sec").Set(float64(res.Cycles) / wall)
+		}
+		reg.Counter(pre + "cycles").Set(res.Cycles)
 	}
 	if a.Check != nil {
 		if err := a.Check(m); err != nil {
@@ -137,6 +161,28 @@ type Column struct {
 	Breakdown  cpu.Breakdown
 	Normalized float64 // total execution time as % of BASE
 	ReadHidden float64 // fraction of BASE read-miss stall removed
+}
+
+// RecordColumns publishes a figure's per-column execution-time breakdowns
+// into reg under "fig.<figure>.<app>.<label>.". The counters are exactly the
+// numbers the text reports print, so a -metrics-out snapshot can be checked
+// against the printed figures. No-op with a nil registry.
+func RecordColumns(reg *obs.Registry, figure, app string, cols []Column) {
+	if reg == nil {
+		return
+	}
+	for _, c := range cols {
+		pre := fmt.Sprintf("fig.%s.%s.%s.", figure, app, c.Label)
+		set := func(name string, v uint64) { reg.Counter(pre + name).Set(v) }
+		set("cycles.total", c.Breakdown.Total())
+		set("cycles.busy", c.Breakdown.Busy)
+		set("stall.sync", c.Breakdown.Sync)
+		set("stall.read", c.Breakdown.Read)
+		set("stall.write", c.Breakdown.Write)
+		set("stall.branch", c.Breakdown.Branch)
+		set("stall.other", c.Breakdown.Other)
+		reg.Gauge(pre + "normalized_pct").Set(c.Normalized)
+	}
 }
 
 func normalize(cols []Column) {

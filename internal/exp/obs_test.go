@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"dynsched/internal/apps"
+	"dynsched/internal/consistency"
+	"dynsched/internal/cpu"
+	"dynsched/internal/obs"
+)
+
+// TestMetricsMatchBreakdown runs one application through BASE and DS with a
+// metrics registry attached and asserts that the published counters are
+// exactly the Breakdown totals the experiment reports print — the property
+// that makes a -metrics-out snapshot checkable against the figures.
+func TestMetricsMatchBreakdown(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Options{
+		NumCPUs: 4, Scale: apps.ScaleSmall, TraceCPU: 1,
+		Apps: []string{"mp3d"}, Metrics: reg,
+	})
+	run, err := e.Run("mp3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := cpu.RunBase(run.Trace)
+	cpu.PublishResult(reg, "cpu.BASE.", base)
+	ds, err := cpu.RunDS(run.Trace, cpu.Config{
+		Model: consistency.RC, Window: 64,
+		Metrics: reg, MetricsPrefix: "cpu.RC-DS64.",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, c := range []struct {
+		prefix string
+		b      cpu.Breakdown
+	}{
+		{"cpu.BASE.", base.Breakdown},
+		{"cpu.RC-DS64.", ds.Breakdown},
+	} {
+		checks := map[string]uint64{
+			"cycles.total": c.b.Total(), "cycles.busy": c.b.Busy,
+			"stall.sync": c.b.Sync, "stall.read": c.b.Read,
+			"stall.write": c.b.Write, "stall.branch": c.b.Branch,
+			"stall.other": c.b.Other,
+		}
+		for name, want := range checks {
+			if got := reg.Counter(c.prefix + name).Value(); got != want {
+				t.Errorf("%s%s = %d, want %d", c.prefix, name, got, want)
+			}
+		}
+	}
+	if ds.Breakdown.Read >= base.Breakdown.Read {
+		t.Errorf("DS read stall %d not below BASE %d — replay looks wrong",
+			ds.Breakdown.Read, base.Breakdown.Read)
+	}
+
+	// The trace-generation side must have published machine totals that are
+	// consistent with the returned statistics.
+	var instrs uint64
+	for i, st := range run.CPUs {
+		name := fmt.Sprintf("tango.mp3d.cpu%02d.instructions", i)
+		if got := reg.Counter(name).Value(); got != st.Instructions {
+			t.Errorf("%s = %d, want %d", name, got, st.Instructions)
+		}
+		instrs += st.Instructions
+	}
+	if got := reg.Counter("tango.mp3d.machine.instructions").Value(); got != instrs {
+		t.Errorf("machine.instructions = %d, want %d", got, instrs)
+	}
+	if reg.Counter("tango.mp3d.machine.cycles").Value() == 0 {
+		t.Error("machine.cycles not published")
+	}
+	if reg.Gauge("tango.mp3d.machine.cache.miss_rate").Value() <= 0 {
+		t.Error("cache miss rate not published")
+	}
+	// Lock handoffs and barriers make every processor transfer sync lines.
+	for i := range run.CPUs {
+		name := fmt.Sprintf("tango.mp3d.cpu%02d.sync.transfer_cycles", i)
+		if reg.Counter(name).Value() == 0 {
+			t.Errorf("%s = 0, want > 0", name)
+		}
+	}
+}
+
+// TestRecordColumns checks the figure-column publication used by
+// hidelat -metrics-out.
+func TestRecordColumns(t *testing.T) {
+	e := New(Options{NumCPUs: 4, Scale: apps.ScaleSmall, TraceCPU: 1, Apps: []string{"lu"}})
+	run, err := e.Run("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := Figure3(run.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	RecordColumns(reg, "fig3", "lu", cols)
+	for _, c := range cols {
+		pre := "fig.fig3.lu." + c.Label + "."
+		if got := reg.Counter(pre + "cycles.total").Value(); got != c.Breakdown.Total() {
+			t.Errorf("%scycles.total = %d, want %d", pre, got, c.Breakdown.Total())
+		}
+		if got := reg.Gauge(pre + "normalized_pct").Value(); got != c.Normalized {
+			t.Errorf("%snormalized_pct = %v, want %v", pre, got, c.Normalized)
+		}
+	}
+	// A nil registry must be a no-op, not a panic.
+	RecordColumns(nil, "fig3", "lu", cols)
+}
+
+// TestPipeTracerCoversReplay checks that a DS replay records one pipeline
+// event per retired instruction and that retire order matches program order.
+func TestPipeTracerCoversReplay(t *testing.T) {
+	e := New(Options{NumCPUs: 4, Scale: apps.ScaleSmall, TraceCPU: 1, Apps: []string{"mp3d"}})
+	run, err := e.Run("mp3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := obs.NewPipeTracer(0)
+	res, err := cpu.RunDS(run.Trace, cpu.Config{Model: consistency.RC, Window: 64, Pipe: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(p.Len()) != res.Instructions {
+		t.Fatalf("recorded %d pipeline events for %d instructions", p.Len(), res.Instructions)
+	}
+	recs := p.Records()
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Fatalf("records[%d].Seq = %d; retire order broken", i, r.Seq)
+		}
+		if r.RetiredAt < r.DecodedAt || r.DoneAt > r.RetiredAt {
+			t.Fatalf("seq %d has inconsistent stage cycles: %+v", r.Seq, r)
+		}
+	}
+}

@@ -75,6 +75,7 @@ type Stats struct {
 	ReadMisses  uint64
 	WriteHits   uint64
 	WriteMisses uint64 // includes ownership upgrades of Shared lines
+	Upgrades    uint64 // the subset of WriteMisses that were Shared→Modified upgrades
 	Evictions   uint64
 	Invalidates uint64 // lines invalidated by remote writes
 }
@@ -236,6 +237,8 @@ func (s *System) Write(cpu int, addr uint64) (latency uint32, miss bool) {
 		if ln.state != Invalid {
 			c.stats.Evictions++
 		}
+	} else {
+		c.stats.Upgrades++ // Shared line: ownership upgrade, no data fetch
 	}
 	for i := range s.caches {
 		if i == cpu {

@@ -1,0 +1,45 @@
+package obs
+
+// File-writing conveniences shared by the command-line front ends.
+
+import (
+	"os"
+	"strings"
+)
+
+// WriteMetricsFile writes reg's JSON snapshot to path. A nil registry writes
+// an empty snapshot, so callers need not special-case disabled metrics.
+func WriteMetricsFile(reg *Registry, path string) error {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WritePipeTraceFile writes p's pipeline trace to path, choosing the format
+// by extension: ".json" emits Chrome trace-event JSON (Perfetto,
+// chrome://tracing); anything else emits a Konata (kanata 0004) log.
+func WritePipeTraceFile(p *PipeTracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = p.WriteChromeTrace(f)
+	} else {
+		err = p.WriteKonata(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

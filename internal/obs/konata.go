@@ -1,0 +1,118 @@
+package obs
+
+// Konata export: the Kanata log format of the Onikiri2 simulator, rendered
+// by the Konata pipeline viewer (https://github.com/shioyadan/Konata) and
+// emitted by gem5's O3 pipeline instrumentation. The format is a
+// tab-separated command stream:
+//
+//	Kanata <version>       header (version 0004)
+//	C= <cycle>             set the absolute current cycle
+//	C <delta>              advance the current cycle
+//	I <id> <iid> <tid>     begin an instruction record
+//	L <id> <pane> <text>   label (pane 0: left pane, pane 1: hover detail)
+//	S <id> <lane> <stage>  stage begin
+//	E <id> <lane> <stage>  stage end
+//	R <id> <rid> <type>    retire (type 0) or flush (type 1)
+//
+// Each record renders three lanes-0 stages mirroring the timing models:
+// F (in the window, waiting to issue), X (executing / access in flight),
+// and C (complete, waiting for in-order retirement).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// kEvent is one Kanata command scheduled at a cycle. ord orders commands
+// within the same (cycle, instruction).
+type kEvent struct {
+	cycle uint64
+	id    uint64
+	ord   int
+	line  string
+}
+
+// WriteKonata writes the tracer's records as a Kanata 0004 log. Safe on a
+// nil receiver (writes an empty, valid log).
+func (p *PipeTracer) WriteKonata(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprint(bw, "Kanata\t0004\n"); err != nil {
+		return err
+	}
+	recs := p.Records()
+	if len(recs) == 0 {
+		return bw.Flush()
+	}
+
+	events := make([]kEvent, 0, len(recs)*8)
+	for i := range recs {
+		r := &recs[i]
+		decoded, issued, done, retired := r.stageCycles()
+		id := r.Seq
+		detail := fmt.Sprintf("seq=%d pc=%d decode=%d issue=%d done=%d retire=%d",
+			r.Seq, r.PC, decoded, issued, done, retired)
+		if r.Miss {
+			detail += " miss"
+		}
+		if r.Mispredict {
+			detail += " mispredict"
+		}
+		events = append(events,
+			kEvent{decoded, id, 0, fmt.Sprintf("I\t%d\t%d\t0\n", id, id)},
+			kEvent{decoded, id, 1, fmt.Sprintf("L\t%d\t0\t%d: %s\n", id, r.PC, r.Disasm)},
+			kEvent{decoded, id, 2, fmt.Sprintf("L\t%d\t1\t%s\n", id, detail)},
+			kEvent{decoded, id, 3, fmt.Sprintf("S\t%d\t0\tF\n", id)},
+			kEvent{issued, id, 4, fmt.Sprintf("S\t%d\t0\tX\n", id)},
+			kEvent{done, id, 5, fmt.Sprintf("S\t%d\t0\tC\n", id)},
+			kEvent{retired, id, 6, fmt.Sprintf("E\t%d\t0\tC\n", id)},
+			kEvent{retired, id, 7, fmt.Sprintf("R\t%d\t%d\t0\n", id, id)},
+		)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.cycle != b.cycle {
+			return a.cycle < b.cycle
+		}
+		if a.id != b.id {
+			return a.id < b.id
+		}
+		return a.ord < b.ord
+	})
+
+	cur := events[0].cycle
+	if _, err := fmt.Fprintf(bw, "C=\t%d\n", cur); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if e.cycle > cur {
+			if _, err := fmt.Fprintf(bw, "C\t%d\n", e.cycle-cur); err != nil {
+				return err
+			}
+			cur = e.cycle
+		}
+		if _, err := bw.WriteString(e.line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// stageCycles returns the record's stage boundaries clamped to be
+// monotonically non-decreasing, guarding against models that leave a stage
+// timestamp unset (zero).
+func (r *InstrRecord) stageCycles() (decoded, issued, done, retired uint64) {
+	decoded = r.DecodedAt
+	issued = max64(r.IssuedAt, decoded)
+	done = max64(r.DoneAt, issued)
+	retired = max64(r.RetiredAt, done)
+	return
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,296 @@
+// Package obs is the simulator's observability layer: a zero-dependency
+// metrics registry, a bounded per-instruction pipeline event tracer with
+// Konata and Chrome trace-event export, and run-level progress/profiling
+// hooks.
+//
+// Every entry point is nil-safe: a nil *Registry, *PipeTracer, or *Progress
+// turns the corresponding instrumentation into a no-op, so the timing models
+// carry their hooks unconditionally and pay only a nil check when
+// observability is off (the default). This is the property the overhead
+// benchmark in the root package (BenchmarkObsOverhead) guards.
+//
+// The registry follows the shape of production metrics systems (and of
+// gem5's stats framework): subsystems create named counters, gauges, and
+// fixed-bucket histograms under a hierarchical dot-separated name, and one
+// Snapshot call serializes everything to JSON. Names are registered once and
+// cached by the caller; lookups take a mutex but updates are lock-free
+// atomics, so hot simulation loops can update counters concurrently.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Set overwrites the counter value; used when a subsystem publishes an
+// already-aggregated total at the end of a run. Safe on a nil receiver.
+func (c *Counter) Set(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric holding the latest observed value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the latest value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution: Bounds[i] is the inclusive upper
+// bound of bucket i, and one open bucket follows the last bound. Observations
+// are lock-free atomic increments.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64
+}
+
+func newHistogram(bounds []uint64) *Histogram {
+	b := make([]uint64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one sample. Safe on a nil receiver.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.total.Add(1)
+	h.sum.Add(v)
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(h.bounds)].Add(1)
+}
+
+// Total returns the number of samples (0 on a nil receiver).
+func (h *Histogram) Total() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Count returns the number of samples in bucket i (0 on a nil receiver).
+func (h *Histogram) Count(i int) uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.counts[i].Load()
+}
+
+// Mean returns the mean of all observed samples (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.total.Load() == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(h.total.Load())
+}
+
+// HistogramSnapshot is the exported state of a Histogram.
+type HistogramSnapshot struct {
+	Bounds []uint64 `json:"bounds"` // inclusive upper bounds; an open bucket follows
+	Counts []uint64 `json:"counts"` // len(Bounds)+1 entries
+	Total  uint64   `json:"total"`
+	Sum    uint64   `json:"sum"`
+	Mean   float64  `json:"mean"`
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. All methods are safe on a nil receiver and return nil metrics,
+// whose methods are in turn no-ops, so `reg.Counter("x").Inc()` is always
+// legal.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil (a usable no-op) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil (a usable no-op) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds on first use. The bounds of an existing histogram
+// are kept (first registration wins). Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds ...uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current value of every registered metric. Safe on a
+// nil registry (returns an empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{
+			Bounds: append([]uint64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Total:  h.total.Load(),
+			Sum:    h.sum.Load(),
+			Mean:   h.Mean(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON serializes a snapshot of the registry as indented JSON with
+// deterministically ordered keys (encoding/json sorts map keys).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Names returns the sorted names of all registered metrics, for tests and
+// diagnostics.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Prefixed joins a metric-name prefix and a name; it keeps instrumentation
+// call sites free of string-concatenation noise.
+func Prefixed(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + name
+}

@@ -1,0 +1,113 @@
+package obs
+
+// The pipeline event tracer records one InstrRecord per retired instruction
+// into a bounded ring buffer keyed by the instruction's sequence number, so
+// a trace of the last N retired instructions is always available regardless
+// of run length. Records may arrive slightly out of sequence order (a load
+// completes after younger ALU work has been recorded); the ring tolerates
+// any skew smaller than its capacity, which is orders of magnitude larger
+// than any reorder-buffer window.
+
+// Pipeline stage timestamps of one dynamic instruction, in simulator cycles.
+// The stages mirror the paper's processor models: an instruction is decoded
+// into the window, issued to a functional unit or the cache port, completes
+// execution, and retires in program order. For single-cycle stages the
+// interval is empty (start == end) and the exporters render a 1-cycle span.
+type InstrRecord struct {
+	Seq    uint64 // dynamic instruction number (trace index)
+	PC     int32  // static instruction index
+	Disasm string // instruction text for viewer labels
+
+	DecodedAt uint64 // entered the window / was fetched
+	IssuedAt  uint64 // dispatched to a functional unit or the cache port
+	DoneAt    uint64 // value produced / memory access performed
+	RetiredAt uint64 // left the window in program order
+
+	Miss       bool // memory reference missed in the cache
+	Mispredict bool // mispredicted branch
+	Valid      bool // set by Record; false slots are skipped on export
+}
+
+// PipeTracer is a bounded ring buffer of instruction records. A nil tracer
+// is a no-op. PipeTracer is not safe for concurrent use; each replay owns
+// its own tracer (the processor models are single-goroutine).
+type PipeTracer struct {
+	recs    []InstrRecord
+	maxSeq  uint64 // highest Seq recorded + 1
+	seen    uint64 // total records ever recorded
+	dropped uint64 // records that fell off the ring
+}
+
+// DefaultPipeCapacity is the default ring size: enough to inspect the tail
+// of any run in a viewer while bounding memory to a few MB.
+const DefaultPipeCapacity = 1 << 16
+
+// NewPipeTracer creates a tracer holding the last capacity records
+// (DefaultPipeCapacity if capacity <= 0).
+func NewPipeTracer(capacity int) *PipeTracer {
+	if capacity <= 0 {
+		capacity = DefaultPipeCapacity
+	}
+	return &PipeTracer{recs: make([]InstrRecord, capacity)}
+}
+
+// Record stores r in the ring, evicting the record capacity instructions
+// older. Safe on a nil receiver.
+func (p *PipeTracer) Record(r InstrRecord) {
+	if p == nil {
+		return
+	}
+	r.Valid = true
+	slot := &p.recs[r.Seq%uint64(len(p.recs))]
+	if slot.Valid && slot.Seq != r.Seq {
+		p.dropped++
+	}
+	*slot = r
+	p.seen++
+	if r.Seq+1 > p.maxSeq {
+		p.maxSeq = r.Seq + 1
+	}
+}
+
+// Len returns the number of records currently held (0 on a nil receiver).
+func (p *PipeTracer) Len() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for i := range p.recs {
+		if p.recs[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Dropped returns how many records were evicted by newer ones.
+func (p *PipeTracer) Dropped() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.dropped
+}
+
+// Records returns the held records in ascending sequence order. The slice is
+// freshly allocated; mutating it does not affect the tracer.
+func (p *PipeTracer) Records() []InstrRecord {
+	if p == nil {
+		return nil
+	}
+	out := make([]InstrRecord, 0, len(p.recs))
+	cap64 := uint64(len(p.recs))
+	start := uint64(0)
+	if p.maxSeq > cap64 {
+		start = p.maxSeq - cap64
+	}
+	for seq := start; seq < p.maxSeq; seq++ {
+		r := p.recs[seq%cap64]
+		if r.Valid && r.Seq == seq {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package obs
+
+// Progress is the run-level ticker: simulation loops publish their absolute
+// instruction and cycle counts, and a background goroutine periodically
+// prints throughput (instructions/sec of wall time, simulated cycles/sec)
+// and an ETA when a total is known. A nil *Progress is a no-op, so the hot
+// loops call Publish unconditionally.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress reports simulation throughput at a fixed wall-clock interval.
+type Progress struct {
+	out      io.Writer
+	interval time.Duration
+	label    atomic.Value // string: current phase label
+
+	instrs atomic.Uint64 // absolute instructions processed
+	cycles atomic.Uint64 // absolute simulated cycles
+	total  atomic.Uint64 // expected instructions (0 = unknown)
+
+	start     time.Time
+	mu        sync.Mutex
+	stop      chan struct{}
+	done      chan struct{}
+	lastInstr uint64
+	lastCycle uint64
+	lastAt    time.Time
+}
+
+// NewProgress creates a ticker writing to w every interval (1s if
+// interval <= 0). Call Start to begin reporting and Stop when done.
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	p := &Progress{out: w, interval: interval}
+	p.label.Store("")
+	return p
+}
+
+// SetLabel names the current phase (e.g. the application being simulated).
+// Safe on a nil receiver.
+func (p *Progress) SetLabel(label string) {
+	if p == nil {
+		return
+	}
+	p.label.Store(label)
+}
+
+// SetTotal declares the expected instruction count, enabling the ETA.
+// Safe on a nil receiver.
+func (p *Progress) SetTotal(n uint64) {
+	if p == nil {
+		return
+	}
+	p.total.Store(n)
+}
+
+// Publish stores the absolute progress of the running simulation. Simulation
+// loops call it every few thousand steps; it is two atomic stores. Safe on a
+// nil receiver.
+func (p *Progress) Publish(instrs, cycles uint64) {
+	if p == nil {
+		return
+	}
+	p.instrs.Store(instrs)
+	p.cycles.Store(cycles)
+}
+
+// Add increments the absolute counters; used by drivers that aggregate
+// several sequential simulations. Safe on a nil receiver.
+func (p *Progress) Add(instrs, cycles uint64) {
+	if p == nil {
+		return
+	}
+	p.instrs.Add(instrs)
+	p.cycles.Add(cycles)
+}
+
+// Start launches the reporting goroutine. Safe on a nil receiver.
+func (p *Progress) Start() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return // already running
+	}
+	p.start = time.Now()
+	p.lastAt = p.start
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.run(p.stop, p.done)
+}
+
+// Stop halts the reporting goroutine and prints a final summary line.
+// Safe on a nil receiver and when Start was never called.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+	p.report(true)
+}
+
+func (p *Progress) run(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.report(false)
+		}
+	}
+}
+
+// report prints one progress line. final switches to the summary format.
+func (p *Progress) report(final bool) {
+	now := time.Now()
+	instrs, cycles := p.instrs.Load(), p.cycles.Load()
+
+	p.mu.Lock()
+	dt := now.Sub(p.lastAt).Seconds()
+	di, dc := instrs-p.lastInstr, cycles-p.lastCycle
+	p.lastAt, p.lastInstr, p.lastCycle = now, instrs, cycles
+	p.mu.Unlock()
+
+	elapsed := now.Sub(p.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	ips, cps := float64(di)/dt, float64(dc)/dt
+	if final || dt <= 0 {
+		ips, cps = float64(instrs)/elapsed, float64(cycles)/elapsed
+	}
+
+	label := p.label.Load().(string)
+	if label != "" {
+		label = " [" + label + "]"
+	}
+	line := fmt.Sprintf("progress%s: %s instrs (%s/s), %s sim cycles (%s/s)",
+		label, siCount(instrs), siCount(uint64(ips)), siCount(cycles), siCount(uint64(cps)))
+	if total := p.total.Load(); total > 0 && instrs > 0 && instrs < total && !final {
+		remain := float64(total-instrs) / (float64(instrs) / elapsed)
+		line += fmt.Sprintf(", ETA %s", time.Duration(remain*float64(time.Second)).Round(time.Second))
+	}
+	if final {
+		line += fmt.Sprintf(", wall %s", time.Duration(elapsed*float64(time.Second)).Round(time.Millisecond))
+	}
+	fmt.Fprintln(p.out, line)
+}
+
+// siCount formats a count with a k/M/G suffix.
+func siCount(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// PublishEvery is the recommended stride, in simulation steps, between
+// Publish calls from hot loops: frequent enough for 1-second ticks, rare
+// enough to be invisible in profiles.
+const PublishEvery = 1 << 14

@@ -22,6 +22,7 @@ import (
 	"dynsched/internal/asm"
 	"dynsched/internal/isa"
 	"dynsched/internal/mem"
+	"dynsched/internal/obs"
 	"dynsched/internal/trace"
 	"dynsched/internal/vm"
 )
@@ -45,6 +46,20 @@ type Config struct {
 	// MaxInstrs bounds per-processor dynamic instructions (0 = 2^40); it
 	// guards against runaway application bugs, not normal execution.
 	MaxInstrs uint64
+
+	// Metrics, when non-nil, receives the machine-level counters after the
+	// run: per-CPU cache miss/upgrade/invalidation counts, synchronization
+	// wait and transfer cycles, write-buffer drain cycles, and whole-machine
+	// totals, all under MetricsPrefix.
+	Metrics *obs.Registry
+	// MetricsPrefix names this run's metrics (default "tango."); harnesses
+	// that run several applications into one registry disambiguate with
+	// e.g. "tango.ocean.".
+	MetricsPrefix string
+	// Progress, when non-nil, receives periodic executed-instruction and
+	// simulated-cycle counts for the -progress ticker (delta-added, so one
+	// ticker can span several sequential simulations).
+	Progress *obs.Progress
 }
 
 // DefaultConfig returns the paper's machine: 16 processors, 64 KB caches,
@@ -58,7 +73,9 @@ type CPUStats struct {
 	Instructions uint64 // dynamic instructions (busy cycles)
 	FinishCycle  uint64 // absolute time the processor halted
 	SyncWait     uint64 // total W cycles spent blocked on synchronization
+	SyncTransfer uint64 // total T cycles transferring sync variables
 	ReadStall    uint64 // cycles stalled on read misses (beyond the hit cycle)
+	WriteDrain   uint64 // cycles releases waited for the write buffer to drain
 }
 
 // Result is the outcome of a simulation.
@@ -129,6 +146,12 @@ type sim struct {
 	trs []*trace.Trace // per-processor traces when RecordAll
 
 	memNextFree uint64 // earliest time the memory system accepts a new miss
+
+	// Observability (all optional; see Config.Metrics / Config.Progress).
+	wbHist   *obs.Histogram // store-time write-buffer backlog, in cycles
+	steps    uint64         // instructions executed machine-wide
+	pubSteps uint64         // steps already published to Progress
+	pubCycle uint64         // latest global time published to Progress
 }
 
 // Run simulates progs (one per processor; len(progs) must equal
@@ -164,6 +187,13 @@ func Run(progs []*asm.Program, memInit func(m *vm.PagedMem), cfg Config) (*Resul
 		locks:    make(map[uint64]*lockState),
 		events:   make(map[int64]*eventState),
 		barriers: make(map[int64]*barrierState),
+	}
+	if cfg.Metrics != nil {
+		if cfg.MetricsPrefix == "" {
+			cfg.MetricsPrefix = "tango."
+		}
+		s.wbHist = cfg.Metrics.Histogram(cfg.MetricsPrefix+"writebuf.backlog_cycles",
+			0, 1, 2, 5, 10, 25, 50, 100, 250)
 	}
 	if cfg.TraceCPU >= 0 {
 		s.tr = &trace.Trace{
@@ -206,7 +236,62 @@ func Run(progs []*asm.Program, memInit func(m *vm.PagedMem), cfg Config) (*Resul
 			res.Cycles = p.stats.FinishCycle
 		}
 	}
+	if cfg.Progress != nil {
+		s.publishProgress(res.Cycles)
+	}
+	s.publishMetrics(res)
 	return res, nil
+}
+
+// publishProgress flushes the machine-wide instruction and cycle deltas
+// accumulated since the previous flush into the Progress ticker.
+func (s *sim) publishProgress(now uint64) {
+	var dc uint64
+	if now > s.pubCycle {
+		dc = now - s.pubCycle
+		s.pubCycle = now
+	}
+	s.cfg.Progress.Add(s.steps-s.pubSteps, dc)
+	s.pubSteps = s.steps
+}
+
+// publishMetrics exports the run's per-CPU and machine-level counters into
+// Config.Metrics under the "tango." prefix. No-op without a registry.
+func (s *sim) publishMetrics(res *Result) {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	var instrs, misses, accesses uint64
+	for i, p := range s.procs {
+		pre := fmt.Sprintf("%scpu%02d.", s.cfg.MetricsPrefix, i)
+		set := func(name string, v uint64) { reg.Counter(pre + name).Set(v) }
+		st := s.caches.Stats(i)
+		set("cache.read_hits", st.ReadHits)
+		set("cache.read_misses", st.ReadMisses)
+		set("cache.write_hits", st.WriteHits)
+		set("cache.write_misses", st.WriteMisses)
+		set("cache.upgrades", st.Upgrades)
+		set("cache.evictions", st.Evictions)
+		set("cache.invalidations", st.Invalidates)
+		set("instructions", p.stats.Instructions)
+		set("finish_cycle", p.stats.FinishCycle)
+		set("sync.wait_cycles", p.stats.SyncWait)
+		set("sync.transfer_cycles", p.stats.SyncTransfer)
+		set("read.stall_cycles", p.stats.ReadStall)
+		set("writebuf.drain_cycles", p.stats.WriteDrain)
+		instrs += p.stats.Instructions
+		misses += st.ReadMisses + st.WriteMisses
+		accesses += st.Reads() + st.Writes()
+	}
+	mpre := s.cfg.MetricsPrefix + "machine."
+	reg.Counter(mpre + "cycles").Set(res.Cycles)
+	reg.Counter(mpre + "instructions").Set(instrs)
+	reg.Counter(mpre + "cache.misses").Set(misses)
+	reg.Counter(mpre + "cache.accesses").Set(accesses)
+	if accesses > 0 {
+		reg.Gauge(mpre + "cache.miss_rate").Set(float64(misses) / float64(accesses))
+	}
 }
 
 func (s *sim) loop() error {
@@ -229,9 +314,16 @@ func (s *sim) loop() error {
 		if next.th.Executed >= s.cfg.MaxInstrs {
 			return fmt.Errorf("tango: cpu %d exceeded %d instructions (runaway program?)", next.id, s.cfg.MaxInstrs)
 		}
+		now := next.readyAt
 		halted, err := s.step(next)
 		if err != nil {
 			return err
+		}
+		if s.cfg.Progress != nil {
+			s.steps++
+			if s.steps&(obs.PublishEvery-1) == 0 {
+				s.publishProgress(now)
+			}
 		}
 		if halted {
 			running--
@@ -300,6 +392,11 @@ func (s *sim) step(p *proc) (bool, error) {
 	case isa.ClassStore:
 		lat, miss := s.memWrite(p.id, info.Addr, t)
 		ev.Latency, ev.Miss = lat, miss
+		if p.writesDoneAt > t {
+			s.wbHist.Observe(p.writesDoneAt - t)
+		} else {
+			s.wbHist.Observe(0)
+		}
 		// Buffered write under RC: the processor continues next cycle; the
 		// write completes in the background.
 		done := t + uint64(lat)
@@ -337,6 +434,7 @@ func (s *sim) stepSync(p *proc, t uint64, info vm.StepInfo, ev trace.Event) erro
 			ev.Latency, ev.Miss = lat, miss
 			l.held = true
 			p.readyAt = t + uint64(lat)
+			p.stats.SyncTransfer += uint64(lat)
 			s.record(p, ev)
 			return nil
 		}
@@ -347,6 +445,7 @@ func (s *sim) stepSync(p *proc, t uint64, info vm.StepInfo, ev trace.Event) erro
 			l.held = true
 			p.readyAt = l.freeAt + uint64(lat)
 			p.stats.SyncWait += w
+			p.stats.SyncTransfer += uint64(lat)
 			s.record(p, ev)
 			return nil
 		}
@@ -367,9 +466,11 @@ func (s *sim) stepSync(p *proc, t uint64, info vm.StepInfo, ev trace.Event) erro
 		freeAt := t
 		if p.writesDoneAt > freeAt {
 			freeAt = p.writesDoneAt
+			p.stats.WriteDrain += freeAt - t
 		}
 		lat, miss := s.memWrite(p.id, info.Addr, t)
 		ev.Latency, ev.Miss = lat, miss
+		p.stats.SyncTransfer += uint64(lat)
 		freeAt += uint64(lat)
 		if freeAt > p.writesDoneAt {
 			p.writesDoneAt = freeAt
@@ -385,6 +486,7 @@ func (s *sim) stepSync(p *proc, t uint64, info vm.StepInfo, ev trace.Event) erro
 			wait := freeAt - w.blockedAt
 			w.readyAt = freeAt + uint64(lat)
 			w.stats.SyncWait += wait
+			w.stats.SyncTransfer += uint64(lat)
 			s.patch(w, uint32(lat), uint32(wait), miss)
 		} else {
 			l.held = false
@@ -404,8 +506,10 @@ func (s *sim) stepSync(p *proc, t uint64, info vm.StepInfo, ev trace.Event) erro
 		arrive := t
 		if p.writesDoneAt > arrive {
 			arrive = p.writesDoneAt
+			p.stats.WriteDrain += arrive - t
 		}
 		lat, _ := s.memWrite(p.id, barrierAddr(id), arrive)
+		p.stats.SyncTransfer += uint64(lat)
 		arrive += uint64(lat)
 		if arrive > b.maxTime {
 			b.maxTime = arrive
@@ -421,6 +525,7 @@ func (s *sim) stepSync(p *proc, t uint64, info vm.StepInfo, ev trace.Event) erro
 				wait := depart - w.blockedAt
 				w.readyAt = depart + uint64(rlat)
 				w.stats.SyncWait += wait
+				w.stats.SyncTransfer += uint64(rlat)
 				s.patch(w, uint32(rlat), uint32(wait), rmiss)
 			}
 			b.arrived = b.arrived[:0]
@@ -440,6 +545,7 @@ func (s *sim) stepSync(p *proc, t uint64, info vm.StepInfo, ev trace.Event) erro
 			ev.Latency, ev.Wait, ev.Miss = lat, uint32(wait), miss
 			p.readyAt = t + wait + uint64(lat)
 			p.stats.SyncWait += wait
+			p.stats.SyncTransfer += uint64(lat)
 			s.record(p, ev)
 			return nil
 		}
@@ -463,8 +569,10 @@ func (s *sim) stepSync(p *proc, t uint64, info vm.StepInfo, ev trace.Event) erro
 		setAt := t
 		if p.writesDoneAt > setAt {
 			setAt = p.writesDoneAt
+			p.stats.WriteDrain += setAt - t
 		}
 		lat, miss := s.memWrite(p.id, eventAddr(id), setAt)
+		p.stats.SyncTransfer += uint64(lat)
 		setAt += uint64(lat)
 		e.set, e.setAt = true, setAt
 		if setAt > p.writesDoneAt {
@@ -478,6 +586,7 @@ func (s *sim) stepSync(p *proc, t uint64, info vm.StepInfo, ev trace.Event) erro
 			wait := setAt - w.blockedAt
 			w.readyAt = setAt + uint64(rlat)
 			w.stats.SyncWait += wait
+			w.stats.SyncTransfer += uint64(rlat)
 			s.patch(w, uint32(rlat), uint32(wait), rmiss)
 		}
 		e.waiters = e.waiters[:0]
