@@ -52,8 +52,10 @@ func benchHarness(b *testing.B) *exp.Experiment {
 // BenchmarkTraceGeneration measures the execution-driven multiprocessor
 // simulation that produces each application's annotated trace (§3.2).
 func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
 	for _, app := range apps.Names() {
 		b.Run(app, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				opts := exp.DefaultOptions()
 				opts.Scale = apps.ScaleSmall
@@ -71,6 +73,7 @@ func BenchmarkTraceGeneration(b *testing.B) {
 
 // BenchmarkTable1 regenerates Table 1 (data reference statistics).
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := e.Table1()
@@ -85,6 +88,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkTable2 regenerates Table 2 (synchronization statistics).
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Table2(); err != nil {
@@ -96,6 +100,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkTable3 regenerates Table 3 (branch behaviour under the paper's
 // 2048-entry 4-way BTB).
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := e.Table3()
@@ -109,9 +114,11 @@ func BenchmarkTable3(b *testing.B) {
 // BenchmarkFigure3 regenerates Figure 3 per application: the full
 // static/dynamic × SC/PC/RC matrix.
 func BenchmarkFigure3(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	for _, app := range e.Apps() {
 		b.Run(app, func(b *testing.B) {
+			b.ReportAllocs()
 			run, err := e.Run(app)
 			if err != nil {
 				b.Fatal(err)
@@ -131,9 +138,11 @@ func BenchmarkFigure3(b *testing.B) {
 // BenchmarkFigure4 regenerates Figure 4 per application: the perfect-
 // prediction and ignored-dependence isolation sweep.
 func BenchmarkFigure4(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	for _, app := range e.Apps() {
 		b.Run(app, func(b *testing.B) {
+			b.ReportAllocs()
 			run, err := e.Run(app)
 			if err != nil {
 				b.Fatal(err)
@@ -150,6 +159,7 @@ func BenchmarkFigure4(b *testing.B) {
 // BenchmarkSummary regenerates the §7 read-latency-hidden summary and
 // reports the window-64 average the paper quotes as 81%.
 func BenchmarkSummary(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	for i := 0; i < b.N; i++ {
 		avg, _, err := e.ReadHiddenSummary()
@@ -164,6 +174,7 @@ func BenchmarkSummary(b *testing.B) {
 
 // BenchmarkReadMissDelays regenerates the §4.1.3 issue-delay diagnostic.
 func BenchmarkReadMissDelays(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	run, err := e.Run("pthor")
 	if err != nil {
@@ -180,6 +191,7 @@ func BenchmarkReadMissDelays(b *testing.B) {
 
 // BenchmarkLatency100 regenerates the §4.2 100-cycle-latency window sweep.
 func BenchmarkLatency100(b *testing.B) {
+	b.ReportAllocs()
 	opts := exp.DefaultOptions()
 	opts.Scale = apps.ScaleSmall
 	opts.MissPenalty = 100
@@ -197,6 +209,7 @@ func BenchmarkLatency100(b *testing.B) {
 
 // BenchmarkIssue4 regenerates the §4.2 four-wide-issue window sweep.
 func BenchmarkIssue4(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Issue4All(); err != nil {
@@ -208,6 +221,7 @@ func BenchmarkIssue4(b *testing.B) {
 // BenchmarkProcessorModels measures each timing model replaying the same
 // trace — the cost of one Figure 3 bar.
 func BenchmarkProcessorModels(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	run, err := e.Run("ocean")
 	if err != nil {
@@ -215,11 +229,13 @@ func BenchmarkProcessorModels(b *testing.B) {
 	}
 	tr := run.Trace
 	b.Run("BASE", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cpu.RunBase(tr)
 		}
 	})
 	b.Run("SSBR", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := cpu.RunSSBR(tr, cpu.Config{Model: consistency.RC}); err != nil {
 				b.Fatal(err)
@@ -227,6 +243,7 @@ func BenchmarkProcessorModels(b *testing.B) {
 		}
 	})
 	b.Run("SS", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := cpu.RunSS(tr, cpu.Config{Model: consistency.RC}); err != nil {
 				b.Fatal(err)
@@ -235,6 +252,7 @@ func BenchmarkProcessorModels(b *testing.B) {
 	})
 	for _, w := range exp.Windows {
 		b.Run(fmt.Sprintf("DS-%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := cpu.RunDS(tr, cpu.Config{Model: consistency.RC, Window: w}); err != nil {
 					b.Fatal(err)
@@ -247,8 +265,10 @@ func BenchmarkProcessorModels(b *testing.B) {
 // BenchmarkAblations measures the design-choice sweeps called out in
 // DESIGN.md: store-buffer depth, MSHR count, and the WO model.
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	b.Run("store-buffer", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := e.AblationStoreBuffer("mp3d"); err != nil {
 				b.Fatal(err)
@@ -256,6 +276,7 @@ func BenchmarkAblations(b *testing.B) {
 		}
 	})
 	b.Run("mshr", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := e.AblationMSHR("mp3d"); err != nil {
 				b.Fatal(err)
@@ -263,6 +284,7 @@ func BenchmarkAblations(b *testing.B) {
 		}
 	})
 	b.Run("weak-ordering", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := e.WOAll(); err != nil {
 				b.Fatal(err)
@@ -273,6 +295,7 @@ func BenchmarkAblations(b *testing.B) {
 
 // BenchmarkMultipleContexts measures the §5 competitive-technique model.
 func BenchmarkMultipleContexts(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := e.MultipleContexts("lu", 4)
@@ -285,6 +308,7 @@ func BenchmarkMultipleContexts(b *testing.B) {
 
 // BenchmarkResched measures the compiler-rescheduling comparison.
 func BenchmarkResched(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := e.ReschedAll()
@@ -299,6 +323,7 @@ func BenchmarkResched(b *testing.B) {
 
 // BenchmarkSCPrefetch measures the reference-[8] prefetch sweep.
 func BenchmarkSCPrefetch(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := e.SCPrefetchAll(); err != nil {
@@ -309,6 +334,7 @@ func BenchmarkSCPrefetch(b *testing.B) {
 
 // BenchmarkContention measures the finite-bandwidth trace regeneration.
 func BenchmarkContention(b *testing.B) {
+	b.ReportAllocs()
 	opts := exp.DefaultOptions()
 	opts.Scale = apps.ScaleSmall
 	for i := 0; i < b.N; i++ {
@@ -322,6 +348,7 @@ func BenchmarkContention(b *testing.B) {
 
 // BenchmarkTraceSerialization measures trace save/load round trips.
 func BenchmarkTraceSerialization(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	run, err := e.Run("ocean")
 	if err != nil {

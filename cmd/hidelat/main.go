@@ -30,7 +30,10 @@
 //
 // Flags select the problem scale (-scale small|medium|paper), the miss
 // penalty (-latency), the processor count (-cpus), the traced processor
-// (-tracecpu), and the applications (-apps mp3d,lu,...).
+// (-tracecpu), and the applications (-apps mp3d,lu,...). -j bounds the
+// worker goroutines used to fan out the independent replays of each
+// experiment (0, the default, uses GOMAXPROCS); every experiment's output
+// is byte-identical regardless of the worker count.
 //
 // Observability flags: -metrics-out writes a JSON snapshot of every counter
 // and histogram the run produced; -pipe-trace-out writes a per-instruction
@@ -71,6 +74,7 @@ func run(args []string) error {
 	cpus := fs.Int("cpus", 16, "processors in the multiprocessor simulation")
 	traceCPU := fs.Int("tracecpu", 1, "processor whose trace is replayed")
 	appList := fs.String("apps", "", "comma-separated applications (default: all five)")
+	workers := fs.Int("j", 0, "worker goroutines for experiment fan-out (0 = GOMAXPROCS)")
 	csvOut := fs.Bool("csv", false, "emit figure data as CSV (fig3, fig4, latency100, issue4, wo, scpf)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
 	pipeOut := fs.String("pipe-trace-out", "", "write a pipeline trace of an RC-DS64 replay of the first app (.json = Chrome trace, else Konata)")
@@ -116,6 +120,7 @@ func run(args []string) error {
 		Scale:       scale,
 		MissPenalty: uint32(*latency),
 		TraceCPU:    *traceCPU,
+		Workers:     *workers,
 	}
 	if *appList != "" {
 		opts.Apps = strings.Split(*appList, ",")

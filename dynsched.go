@@ -55,7 +55,7 @@ import (
 
 // Version identifies the dynsched build; the command-line tools report it
 // via their -version flags.
-const Version = "0.2.0"
+const Version = "0.3.0"
 
 // Consistency models (§2.1 of the paper).
 const (
@@ -275,10 +275,15 @@ func RunProcessor(tr *Trace, pc ProcessorConfig) Result {
 	return r
 }
 
-// Experiment exposes the full table/figure harness.
+// Experiment exposes the full table/figure harness. Trace generation and
+// the independent replays of every figure, table, and sweep fan out across
+// a bounded worker pool (ExperimentOptions.Workers; 0 = GOMAXPROCS), and
+// results are collected in input order, so the output is byte-identical
+// regardless of the worker count.
 type Experiment = exp.Experiment
 
-// ExperimentOptions configures the harness.
+// ExperimentOptions configures the harness, including the Workers bound on
+// the parallel experiment scheduler.
 type ExperimentOptions = exp.Options
 
 // NewExperiment creates a table/figure harness; see the exp package for the

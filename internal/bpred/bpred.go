@@ -16,9 +16,13 @@ type Predictor interface {
 // BTB is a set-associative branch target buffer with per-entry 2-bit
 // saturating counters and true-LRU replacement. A branch that misses in the
 // BTB is predicted not taken; entries are allocated when a branch is first
-// taken, as in classic BTB designs (Lee & Smith).
+// taken, as in classic BTB designs (Lee & Smith). The table is stored as
+// two flat arrays (set s occupies entries[s*ways : (s+1)*ways]) so
+// constructing a BTB costs a fixed three allocations regardless of
+// geometry — processor replays build one per run.
 type BTB struct {
-	sets    []btbSet
+	entries []btbEntry // numSets × ways
+	clocks  []uint32   // per-set LRU clock
 	ways    int
 	setMask int32
 }
@@ -28,11 +32,6 @@ type btbEntry struct {
 	tag     int32
 	counter uint8 // 0..3; >=2 predicts taken
 	lru     uint32
-}
-
-type btbSet struct {
-	entries []btbEntry
-	clock   uint32
 }
 
 // NewBTB creates a BTB with the given total entry count and associativity.
@@ -45,11 +44,12 @@ func NewBTB(entries, ways int) (*BTB, error) {
 	if numSets&(numSets-1) != 0 {
 		return nil, fmt.Errorf("bpred: number of sets %d not a power of two", numSets)
 	}
-	b := &BTB{sets: make([]btbSet, numSets), ways: ways, setMask: int32(numSets - 1)}
-	for i := range b.sets {
-		b.sets[i].entries = make([]btbEntry, ways)
-	}
-	return b, nil
+	return &BTB{
+		entries: make([]btbEntry, entries),
+		clocks:  make([]uint32, numSets),
+		ways:    ways,
+		setMask: int32(numSets - 1),
+	}, nil
 }
 
 // NewPaperBTB returns the paper's configuration: 2048 entries, 4-way.
@@ -61,16 +61,17 @@ func NewPaperBTB() *BTB {
 	return b
 }
 
-func (b *BTB) lookup(pc int32) (*btbSet, *btbEntry) {
-	set := &b.sets[pc&b.setMask]
+func (b *BTB) lookup(pc int32) (int, *btbEntry) {
+	s := int(pc & b.setMask)
+	set := b.entries[s*b.ways : (s+1)*b.ways]
 	tag := pc >> 0 // full PC kept as tag (virtual PCs are small)
-	for i := range set.entries {
-		e := &set.entries[i]
+	for i := range set {
+		e := &set[i]
 		if e.valid && e.tag == tag {
-			return set, e
+			return s, e
 		}
 	}
-	return set, nil
+	return s, nil
 }
 
 // Predict implements Predictor. The actual outcome is ignored.
@@ -82,12 +83,12 @@ func (b *BTB) Predict(pc int32, _ bool) bool {
 // Update implements Predictor: trains the counter, allocating an entry on a
 // taken branch that missed.
 func (b *BTB) Update(pc int32, taken bool) {
-	set, e := b.lookup(pc)
+	s, e := b.lookup(pc)
 	if e == nil {
 		if !taken {
 			return // not-taken misses are the default prediction; no entry
 		}
-		e = b.victim(set)
+		e = b.victim(s)
 		e.valid = true
 		e.tag = pc
 		e.counter = 2 // weakly taken on allocation
@@ -98,14 +99,15 @@ func (b *BTB) Update(pc int32, taken bool) {
 	} else if e.counter > 0 {
 		e.counter--
 	}
-	set.clock++
-	e.lru = set.clock
+	b.clocks[s]++
+	e.lru = b.clocks[s]
 }
 
-func (b *BTB) victim(set *btbSet) *btbEntry {
+func (b *BTB) victim(s int) *btbEntry {
+	set := b.entries[s*b.ways : (s+1)*b.ways]
 	var v *btbEntry
-	for i := range set.entries {
-		e := &set.entries[i]
+	for i := range set {
+		e := &set[i]
 		if !e.valid {
 			return e
 		}

@@ -182,23 +182,24 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 		pred = bpred.NewPaperBTB()
 	}
 
+	scratch := getDSScratch(cfg.Window)
 	var (
-		cat        [5]uint64 // stall cycles by category (see catSync..catOther)
-		stallStack []uint8   // LIFO of charged stall categories, for burst credit
-		credit     int       // excess retirements not yet converted to credit
+		cat        [5]uint64            // stall cycles by category (see catSync..catOther)
+		stallStack = scratch.stallStack // LIFO of charged stall categories, for burst credit
+		credit     int                  // excess retirements not yet converted to credit
 		events     = tr.Events
 		window     = cfg.Window
-		entries    = make([]dsEntry, window)
+		entries    = scratch.entries
 
 		headSeq, nextSeq int // ROB occupancy is [headSeq, nextSeq)
 		idx              int // next trace event to decode
 
 		lastWriter [isa.NumRegs]int
 
-		evq      eventHeap
-		dispatch seqHeap
+		evq      = scratch.evq
+		dispatch = scratch.dispatch
 
-		memq    []*memOp
+		memq    = scratch.memq
 		memLive int
 		sbCount int
 		outMiss int // outstanding (issued, unperformed) misses
@@ -210,18 +211,26 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 		hist           = NewDelayHistogram()
 		t              uint64
 	)
+	defer func() {
+		// Hand the (possibly grown) slices back so the pool retains their
+		// capacity for the next replay.
+		scratch.evq, scratch.dispatch = evq, dispatch
+		scratch.memq, scratch.stallStack = memq, stallStack
+		scratch.release()
+	}()
 	for r := range lastWriter {
 		lastWriter[r] = -1
 	}
 
-	// Observability: live occupancy/delay histograms when metrics are on.
-	var robHist, sbHist, mshrHist, delayHist *obs.Histogram
+	// Observability: occupancy/delay histograms when metrics are on, batched
+	// per run so the hot loop never touches the shared registry.
+	var robHist, sbHist, mshrHist, delayHist *obs.HistogramBatch
 	if cfg.Metrics != nil {
 		p := cfg.MetricsPrefix
-		robHist = cfg.Metrics.Histogram(obs.Prefixed(p, "rob.occupancy"), occupancyBuckets...)
-		sbHist = cfg.Metrics.Histogram(obs.Prefixed(p, "storebuf.occupancy"), bufferBuckets...)
-		mshrHist = cfg.Metrics.Histogram(obs.Prefixed(p, "mshr.outstanding"), bufferBuckets...)
-		delayHist = cfg.Metrics.Histogram(obs.Prefixed(p, "readmiss.issue_delay"), delayBuckets...)
+		robHist = cfg.Metrics.Histogram(obs.Prefixed(p, "rob.occupancy"), occupancyBuckets...).Batch()
+		sbHist = cfg.Metrics.Histogram(obs.Prefixed(p, "storebuf.occupancy"), bufferBuckets...).Batch()
+		mshrHist = cfg.Metrics.Histogram(obs.Prefixed(p, "mshr.outstanding"), bufferBuckets...).Batch()
+		delayHist = cfg.Metrics.Histogram(obs.Prefixed(p, "readmiss.issue_delay"), delayBuckets...).Batch()
 	}
 	at := func(seq int) *dsEntry { return &entries[seq%window] }
 	inROB := func(seq int) bool {
@@ -519,21 +528,21 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 					dispatch.push(seq)
 				}
 			case isa.ClassLoad:
-				en.mop = newMemOp(seq, ev)
+				en.mop = scratch.arena.newMemOp(seq, ev)
 				memq = append(memq, en.mop)
 				memLive++
 				if en.depCount == 0 {
 					en.mop.addrReady = true
 				}
 			case isa.ClassStore:
-				en.mop = newMemOp(seq, ev)
+				en.mop = scratch.arena.newMemOp(seq, ev)
 				memq = append(memq, en.mop)
 				memLive++
 				if en.depCount == 0 {
 					dispatch.push(seq) // compute address+data, then retire to SB
 				}
 			case isa.ClassSync:
-				en.mop = newMemOp(seq, ev)
+				en.mop = scratch.arena.newMemOp(seq, ev)
 				memq = append(memq, en.mop)
 				memLive++
 				if isAcquireClass(ev.Instr.Op) {
@@ -577,6 +586,10 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 	if t > 0 {
 		res.AvgOccupancy = float64(occupancySum) / float64(t)
 	}
+	robHist.Flush()
+	sbHist.Flush()
+	mshrHist.Flush()
+	delayHist.Flush()
 	cfg.Progress.Publish(uint64(headSeq), t)
 	publishResult(&cfg, res)
 	return res, nil
@@ -605,7 +618,7 @@ func makeReady(e *dsEntry, dispatch *seqHeap) {
 // accesses, and issue the first access that is ready and permitted. With
 // prefetching enabled, an otherwise idle port issues a non-binding prefetch
 // for the oldest consistency-blocked miss instead.
-func issueMem(memq []*memOp, t uint64, cfg Config, evq *eventHeap, outMiss *int, hist *DelayHistogram, delayHist *obs.Histogram, prefetches *uint64) {
+func issueMem(memq []*memOp, t uint64, cfg Config, evq *eventHeap, outMiss *int, hist *DelayHistogram, delayHist *obs.HistogramBatch, prefetches *uint64) {
 	var pend consistency.Pending
 	var pfCand *memOp
 	for i, m := range memq {

@@ -1,0 +1,121 @@
+package cpu
+
+// Allocation-free hot paths. A figure sweep replays the same trace through
+// RunDS/RunSS/RunSSBR thousands of times, and each replay used to rebuild
+// its reorder-buffer entries, event heap, memory queue, and one heap-
+// allocated memOp per memory instruction. The scratch structures here are
+// recycled through sync.Pools so a steady-state replay performs no
+// allocations beyond its Result: each parallel experiment worker naturally
+// ends up with its own scratch, and single-threaded callers reuse one.
+
+import (
+	"sync"
+
+	"dynsched/internal/consistency"
+	"dynsched/internal/trace"
+)
+
+// arenaBlockSize is the number of memOps per arena block. Blocks are never
+// reallocated, so pointers handed out by alloc stay valid for the arena's
+// lifetime — the property the memq/entries cross-references rely on.
+const arenaBlockSize = 1024
+
+// opArena hands out memOps from fixed-size blocks and recycles all of them
+// with one reset. memOp contains no pointers, so retained blocks pin nothing
+// between runs.
+type opArena struct {
+	blocks [][]memOp
+	bi, n  int // next free slot: blocks[bi][n], with n < arenaBlockSize
+}
+
+func (a *opArena) alloc() *memOp {
+	if a.bi == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]memOp, arenaBlockSize))
+	}
+	op := &a.blocks[a.bi][a.n]
+	*op = memOp{}
+	a.n++
+	if a.n == arenaBlockSize {
+		a.bi++
+		a.n = 0
+	}
+	return op
+}
+
+func (a *opArena) reset() { a.bi, a.n = 0, 0 }
+
+// newMemOp allocates an access record for e from the arena.
+func (a *opArena) newMemOp(seq int, e *trace.Event) *memOp {
+	op := a.alloc()
+	op.seq = seq
+	op.op = e.Instr.Op
+	op.kind = consistency.KindOf(e.Instr.Op)
+	op.addr = e.Addr
+	op.latency = e.Latency
+	op.wait = e.Wait
+	op.miss = e.Miss
+	op.destReg = e.Instr.Dst
+	return op
+}
+
+// dsScratch is the reusable working set of one RunDS replay.
+type dsScratch struct {
+	entries    []dsEntry
+	evq        eventHeap
+	dispatch   seqHeap
+	memq       []*memOp
+	stallStack []uint8
+	arena      opArena
+}
+
+var dsPool = sync.Pool{New: func() any { return new(dsScratch) }}
+
+// getDSScratch returns a scratch with at least window entries, all zeroed.
+func getDSScratch(window int) *dsScratch {
+	s := dsPool.Get().(*dsScratch)
+	if cap(s.entries) < window {
+		s.entries = make([]dsEntry, window)
+	}
+	s.entries = s.entries[:window]
+	return s
+}
+
+// release clears every pointer the run left behind — trace events in the
+// entries, arena ops in the memory queue — so a pooled scratch never pins a
+// trace, then returns it to the pool.
+func (s *dsScratch) release() {
+	for i := range s.entries {
+		w := s.entries[i].waiters
+		s.entries[i] = dsEntry{waiters: w[:0]}
+	}
+	for i := range s.memq {
+		s.memq[i] = nil
+	}
+	s.memq = s.memq[:0]
+	s.evq = s.evq[:0]
+	s.dispatch = s.dispatch[:0]
+	s.stallStack = s.stallStack[:0]
+	s.arena.reset()
+	dsPool.Put(s)
+}
+
+// staticScratch is the reusable working set of one RunSS/RunSSBR replay.
+type staticScratch struct {
+	ops   []*memOp
+	arena opArena
+}
+
+var staticPool = sync.Pool{New: func() any { return new(staticScratch) }}
+
+func getStaticScratch() *staticScratch {
+	return staticPool.Get().(*staticScratch)
+}
+
+func (s *staticScratch) release() {
+	for i := range s.ops {
+		s.ops[i] = nil
+	}
+	s.ops = s.ops[:0]
+	s.arena.reset()
+	staticPool.Put(s)
+}

@@ -143,19 +143,6 @@ func (w *opWindow) issueOne(t uint64, model consistency.Model, eligible func(*me
 	return nil
 }
 
-func newMemOp(seq int, e *trace.Event) *memOp {
-	return &memOp{
-		seq:     seq,
-		op:      e.Instr.Op,
-		kind:    consistency.KindOf(e.Instr.Op),
-		addr:    e.Addr,
-		latency: e.Latency,
-		wait:    e.Wait,
-		miss:    e.Miss,
-		destReg: e.Instr.Dst,
-	}
-}
-
 // RunSSBR replays tr through the statically scheduled, blocking-read
 // processor: reads stall the processor until they perform; writes and
 // releases enter a WriteBufDepth-deep write buffer drained in FIFO order
@@ -178,9 +165,10 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		return Result{}, err
 	}
 
+	scratch := getStaticScratch()
 	var (
 		bd        Breakdown
-		win       opWindow
+		win       = opWindow{ops: scratch.ops}
 		wbCount   int // stores + releases in the write buffer
 		rbCount   int // pending loads in the read buffer (SS)
 		blockLoad *memOp
@@ -190,20 +178,25 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		t         uint64
 		idx       int
 	)
+	defer func() {
+		scratch.ops = win.ops
+		scratch.release()
+	}()
 
 	events := tr.Events
 	eligible := func(op *memOp) bool { return true } // all window entries are in flight
 
-	// Observability: buffer-occupancy histograms when metrics are enabled,
+	// Observability: buffer-occupancy histograms when metrics are enabled
+	// (batched per run so the hot loop never touches the shared registry),
 	// and per-instruction pipeline records. Non-memory instructions occupy
 	// the in-order pipeline for exactly their accept cycle; memory and
 	// synchronization accesses are recorded when they perform, spanning
 	// decode → port issue → completion.
-	var wbHist, rbHist *obs.Histogram
+	var wbHist, rbHist *obs.HistogramBatch
 	if cfg.Metrics != nil {
 		p := cfg.MetricsPrefix
-		wbHist = cfg.Metrics.Histogram(obs.Prefixed(p, "writebuf.occupancy"), bufferBuckets...)
-		rbHist = cfg.Metrics.Histogram(obs.Prefixed(p, "readbuf.occupancy"), bufferBuckets...)
+		wbHist = cfg.Metrics.Histogram(obs.Prefixed(p, "writebuf.occupancy"), bufferBuckets...).Batch()
+		rbHist = cfg.Metrics.Histogram(obs.Prefixed(p, "readbuf.occupancy"), bufferBuckets...).Batch()
 	}
 	recordAccept := func(e *trace.Event) {
 		if cfg.Pipe != nil {
@@ -282,7 +275,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 				case nonBlockingReads && rbCount >= cfg.ReadBufDepth:
 					bd.Read++ // read buffer full
 				default:
-					op := newMemOp(idx, e)
+					op := scratch.arena.newMemOp(idx, e)
 					op.decodedAt = t
 					win.add(op)
 					if nonBlockingReads {
@@ -302,7 +295,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 				case wbCount >= cfg.WriteBufDepth:
 					bd.Write++ // write buffer full
 				default:
-					op := newMemOp(idx, e)
+					op := scratch.arena.newMemOp(idx, e)
 					op.decodedAt = t
 					win.add(op)
 					wbCount++
@@ -314,7 +307,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 					charge(&bd, win.stallCategory(p))
 					break
 				}
-				op := newMemOp(idx, e)
+				op := scratch.arena.newMemOp(idx, e)
 				op.decodedAt = t
 				if isAcquireClass(e.Instr.Op) {
 					op.wall = t + uint64(op.wait)
@@ -361,6 +354,8 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 	}
 
 	res := Result{Breakdown: bd, Instructions: uint64(len(events))}
+	wbHist.Flush()
+	rbHist.Flush()
 	cfg.Progress.Publish(uint64(idx), t)
 	publishResult(&cfg, res)
 	return res, nil

@@ -34,6 +34,13 @@ type Options struct {
 	// the paper's unbounded-bandwidth assumption.
 	MemIssueInterval uint32
 
+	// Workers bounds the number of concurrent simulations the harness runs:
+	// application trace generations and the independent replay cells of each
+	// figure, table, and sweep. 0 selects runtime.GOMAXPROCS(0); 1 forces
+	// fully serial execution. Results are always collected in deterministic
+	// input order, so every artifact is byte-identical at any worker count.
+	Workers int
+
 	// Metrics, when non-nil, collects the observability counters of every
 	// trace generation driven through this harness (the "tango." machine
 	// metrics plus per-app "exp.<app>." wall-time and throughput gauges).
@@ -77,25 +84,67 @@ type Experiment struct {
 	cacheBytes uint64
 
 	mu   sync.Mutex
-	runs map[string]*AppRun
+	runs map[string]*appEntry
+}
+
+// appEntry is the single-flight cache slot for one application's trace:
+// concurrent Run calls for the same app share one generation, while
+// different apps generate concurrently.
+type appEntry struct {
+	once sync.Once
+	run  *AppRun
+	err  error
 }
 
 // New creates an experiment harness.
 func New(opts Options) *Experiment {
 	opts.fillDefaults()
-	return &Experiment{opts: opts, runs: make(map[string]*AppRun)}
+	return &Experiment{opts: opts, runs: make(map[string]*appEntry)}
 }
 
 // Options returns the harness options (defaults filled).
 func (e *Experiment) Options() Options { return e.opts }
 
-// Run returns the cached trace for app, generating it on first use.
+// Run returns the cached trace for app, generating it on first use. It is
+// safe for concurrent use: the first caller generates, everyone else waits
+// for that single flight.
 func (e *Experiment) Run(app string) (*AppRun, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if r, ok := e.runs[app]; ok {
-		return r, nil
+	en := e.runs[app]
+	if en == nil {
+		en = new(appEntry)
+		e.runs[app] = en
 	}
+	e.mu.Unlock()
+	en.once.Do(func() { en.run, en.err = e.generate(app) })
+	return en.run, en.err
+}
+
+// RunAll generates the traces of the given applications (all configured apps
+// when none are named) concurrently, bounded by Options.Workers, and returns
+// them in argument order.
+func (e *Experiment) RunAll(names ...string) ([]*AppRun, error) {
+	if len(names) == 0 {
+		names = e.Apps()
+	}
+	runs := make([]*AppRun, len(names))
+	err := runJobs(len(names), e.opts.Workers, func(i int) error {
+		r, err := e.Run(names[i])
+		if err != nil {
+			return err
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}
+
+// generate performs one application's trace generation (the multiprocessor
+// simulation), result check, and validation.
+func (e *Experiment) generate(app string) (*AppRun, error) {
 	a, err := apps.Build(app, e.opts.NumCPUs, e.opts.Scale)
 	if err != nil {
 		return nil, err
@@ -140,9 +189,7 @@ func (e *Experiment) Run(app string) (*AppRun, error) {
 	if err := res.Trace.Validate(); err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", app, err)
 	}
-	r := &AppRun{App: app, Trace: res.Trace, Caches: res.CacheStats, CPUs: res.CPUStats}
-	e.runs[app] = r
-	return r, nil
+	return &AppRun{App: app, Trace: res.Trace, Caches: res.CacheStats, CPUs: res.CPUStats}, nil
 }
 
 // Apps returns the application list for this experiment.
@@ -216,122 +263,116 @@ func runArch(tr *trace.Trace, arch string, cfg cpu.Config) (cpu.Result, error) {
 	return cpu.Result{}, fmt.Errorf("exp: unknown architecture %q", arch)
 }
 
-// Figure3 runs the §4.1 processor/model matrix over one application trace:
-// BASE; SSBR, SS, and DS-256 under SC and PC; SSBR, SS, and the full window
-// sweep under RC.
-func Figure3(tr *trace.Trace) ([]Column, error) {
-	var cols []Column
-	add := func(label string, model consistency.Model, arch string, window int) error {
-		cfg := cpu.Config{Model: model, Window: window}
-		res, err := runArch(tr, arch, cfg)
-		if err != nil {
-			return err
-		}
-		cols = append(cols, Column{Label: label, Model: model, Arch: arch, Window: window, Breakdown: res.Breakdown})
-		return nil
-	}
-	if err := add("BASE", consistency.SC, "BASE", 0); err != nil {
-		return nil, err
-	}
+// figure3Cells is the §4.1 processor/model matrix: BASE; SSBR, SS, and
+// DS-256 under SC and PC; SSBR, SS, and the full window sweep under RC.
+func figure3Cells() []cell {
+	cells := []cell{{label: "BASE", arch: "BASE", model: consistency.SC}}
 	for _, m := range []consistency.Model{consistency.SC, consistency.PC} {
 		for _, arch := range []string{"SSBR", "SS"} {
-			if err := add(fmt.Sprintf("%s-%s", m, arch), m, arch, 0); err != nil {
-				return nil, err
-			}
+			cells = append(cells, cell{label: fmt.Sprintf("%s-%s", m, arch), arch: arch, model: m})
 		}
-		if err := add(fmt.Sprintf("%s-DS256", m), m, "DS", 256); err != nil {
-			return nil, err
-		}
+		cells = append(cells, cell{label: fmt.Sprintf("%s-DS256", m), arch: "DS", model: m, window: 256})
 	}
 	for _, arch := range []string{"SSBR", "SS"} {
-		if err := add(fmt.Sprintf("RC-%s", arch), consistency.RC, arch, 0); err != nil {
-			return nil, err
-		}
+		cells = append(cells, cell{label: fmt.Sprintf("RC-%s", arch), arch: arch, model: consistency.RC})
 	}
 	for _, w := range Windows {
-		if err := add(fmt.Sprintf("RC-DS%d", w), consistency.RC, "DS", w); err != nil {
-			return nil, err
-		}
+		cells = append(cells, cell{label: fmt.Sprintf("RC-DS%d", w), arch: "DS", model: consistency.RC, window: w})
 	}
-	normalize(cols)
-	return cols, nil
+	return cells
 }
 
-// Figure4 runs the §4.1.3 isolation experiment under RC: the window sweep
+// Figure3 runs the §4.1 processor/model matrix over one application trace,
+// fanning the independent replays across GOMAXPROCS workers.
+func Figure3(tr *trace.Trace) ([]Column, error) {
+	return runCells(tr, figure3Cells(), 0)
+}
+
+// figure4Cells is the §4.1.3 isolation experiment under RC: the window sweep
 // with perfect branch prediction, then with perfect prediction and ignored
 // data dependences. BASE is included as the reference column.
-func Figure4(tr *trace.Trace) ([]Column, error) {
-	cols := []Column{{Label: "BASE", Arch: "BASE", Breakdown: cpu.RunBase(tr).Breakdown}}
+func figure4Cells() []cell {
+	cells := []cell{{label: "BASE", arch: "BASE"}}
 	for _, noDeps := range []bool{false, true} {
+		noDeps := noDeps
 		for _, w := range Windows {
-			cfg := cpu.Config{
-				Model:          consistency.RC,
-				Window:         w,
-				Predictor:      bpred.Perfect{},
-				IgnoreDataDeps: noDeps,
-			}
-			res, err := cpu.RunDS(tr, cfg)
-			if err != nil {
-				return nil, err
-			}
 			label := fmt.Sprintf("PBP-%d", w)
 			if noDeps {
 				label = fmt.Sprintf("PBP+ND-%d", w)
 			}
-			cols = append(cols, Column{Label: label, Model: consistency.RC, Arch: "DS", Window: w, Breakdown: res.Breakdown})
+			cells = append(cells, cell{
+				label: label, arch: "DS", model: consistency.RC, window: w,
+				mutate: func(c *cpu.Config) {
+					c.Predictor = bpred.Perfect{}
+					c.IgnoreDataDeps = noDeps
+				},
+			})
 		}
 	}
-	normalize(cols)
-	return cols, nil
+	return cells
 }
 
-// WindowSweep runs the DS processor across the window sizes under a model
-// (used by the latency-100 and multiple-issue experiments and ablations).
-func WindowSweep(tr *trace.Trace, model consistency.Model, mutate func(*cpu.Config)) ([]Column, error) {
-	cols := []Column{{Label: "BASE", Arch: "BASE", Breakdown: cpu.RunBase(tr).Breakdown}}
+// Figure4 runs the §4.1.3 isolation experiment over one application trace,
+// fanning the independent replays across GOMAXPROCS workers.
+func Figure4(tr *trace.Trace) ([]Column, error) {
+	return runCells(tr, figure4Cells(), 0)
+}
+
+// windowSweepCells is the DS window sweep under a model with BASE as the
+// reference column (used by the latency-100 and multiple-issue experiments
+// and the ablations).
+func windowSweepCells(model consistency.Model, mutate func(*cpu.Config)) []cell {
+	cells := []cell{{label: "BASE", arch: "BASE"}}
 	for _, w := range Windows {
-		cfg := cpu.Config{Model: model, Window: w}
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		res, err := cpu.RunDS(tr, cfg)
-		if err != nil {
-			return nil, err
-		}
-		cols = append(cols, Column{
-			Label: fmt.Sprintf("%s-DS%d", model, w), Model: model, Arch: "DS",
-			Window: w, Breakdown: res.Breakdown,
+		cells = append(cells, cell{
+			label: fmt.Sprintf("%s-DS%d", model, w), arch: "DS", model: model,
+			window: w, mutate: mutate,
 		})
 	}
-	normalize(cols)
-	return cols, nil
+	return cells
+}
+
+// WindowSweep runs the DS processor across the window sizes under a model,
+// fanning the independent replays across GOMAXPROCS workers.
+func WindowSweep(tr *trace.Trace, model consistency.Model, mutate func(*cpu.Config)) ([]Column, error) {
+	return runCells(tr, windowSweepCells(model, mutate), 0)
 }
 
 // ReadHiddenSummary reproduces the concluding statistic of §7: the average
 // fraction of read latency hidden across the applications for each window
 // size under RC ("33% for window size of 16, 63% for window size of 32, and
-// 81% for window size of 64" in the paper).
+// 81% for window size of 64" in the paper). The per-application sweeps run
+// concurrently; the average is accumulated in application order afterwards,
+// so the floating-point result is worker-count independent.
 func (e *Experiment) ReadHiddenSummary() (map[int]float64, map[string]map[int]float64, error) {
-	perApp := make(map[string]map[int]float64)
-	avg := make(map[int]float64)
-	for _, app := range e.Apps() {
-		run, err := e.Run(app)
-		if err != nil {
-			return nil, nil, err
-		}
+	apps := e.Apps()
+	rows := make([]map[int]float64, len(apps))
+	err := e.perAppJobs(func(i int, run *AppRun) error {
 		base := cpu.RunBase(run.Trace)
-		perApp[app] = make(map[int]float64)
+		row := make(map[int]float64, len(Windows))
 		for _, w := range Windows {
 			res, err := cpu.RunDS(run.Trace, cpu.Config{Model: consistency.RC, Window: w})
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
 			h := 0.0
 			if base.Breakdown.Read > 0 {
 				h = 1 - float64(res.Breakdown.Read)/float64(base.Breakdown.Read)
 			}
-			perApp[app][w] = h
-			avg[w] += h / float64(len(e.Apps()))
+			row[w] = h
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	perApp := make(map[string]map[int]float64, len(apps))
+	avg := make(map[int]float64, len(Windows))
+	for i, app := range apps {
+		perApp[app] = rows[i]
+		for _, w := range Windows {
+			avg[w] += rows[i][w] / float64(len(apps))
 		}
 	}
 	return avg, perApp, nil

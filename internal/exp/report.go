@@ -22,22 +22,22 @@ type AppColumns struct {
 	Cols []Column
 }
 
-// Figure3All runs Figure 3 for every application.
+// Figure3All runs Figure 3 for every application: traces generate
+// concurrently, then the full apps × configurations matrix fans out across
+// Options.Workers.
 func (e *Experiment) Figure3All() ([]AppColumns, error) {
-	return e.perApp(Figure3)
+	return e.perAppCells(figure3Cells())
 }
 
 // Figure4All runs Figure 4 for every application.
 func (e *Experiment) Figure4All() ([]AppColumns, error) {
-	return e.perApp(Figure4)
+	return e.perAppCells(figure4Cells())
 }
 
 // Issue4All runs the §4.2 multiple-issue experiment: the RC window sweep
 // with a decode/issue width of four.
 func (e *Experiment) Issue4All() ([]AppColumns, error) {
-	return e.perApp(func(tr *trace.Trace) ([]Column, error) {
-		return WindowSweep(tr, consistency.RC, func(c *cpu.Config) { c.IssueWidth = 4 })
-	})
+	return e.perAppCells(windowSweepCells(consistency.RC, func(c *cpu.Config) { c.IssueWidth = 4 }))
 }
 
 // SCPrefetchAll evaluates the non-binding-prefetch technique of reference
@@ -46,24 +46,26 @@ func (e *Experiment) Issue4All() ([]AppColumns, error) {
 // miss. The SC+PF columns can be compared against plain SC and RC from
 // Figure 3.
 func (e *Experiment) SCPrefetchAll() ([]AppColumns, error) {
-	return e.perApp(func(tr *trace.Trace) ([]Column, error) {
-		return WindowSweep(tr, consistency.SC, func(c *cpu.Config) { c.Prefetch = true })
-	})
+	return e.perAppCells(windowSweepCells(consistency.SC, func(c *cpu.Config) { c.Prefetch = true }))
 }
 
 // MissDistanceReport renders the §4.1.3 distance-between-read-misses
 // distributions ("90% of the read misses are a distance of 20-30
 // instructions apart" for LU).
 func (e *Experiment) MissDistanceReport() (string, error) {
+	apps := e.Apps()
+	lines := make([]string, len(apps))
+	err := e.perAppJobs(func(i int, run *AppRun) error {
+		lines[i] = fmt.Sprintf("%-6s %s\n", strings.ToUpper(apps[i]), run.Trace.ReadMissDistances())
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
 	var sb strings.Builder
 	sb.WriteString("Distance between consecutive read misses, in instructions (§4.1.3)\n")
-	for _, app := range e.Apps() {
-		run, err := e.Run(app)
-		if err != nil {
-			return "", err
-		}
-		h := run.Trace.ReadMissDistances()
-		fmt.Fprintf(&sb, "%-6s %s\n", strings.ToUpper(app), h)
+	for _, l := range lines {
+		sb.WriteString(l)
 	}
 	return sb.String(), nil
 }
@@ -71,33 +73,13 @@ func (e *Experiment) MissDistanceReport() (string, error) {
 // WindowSweepAll runs the plain RC window sweep for every application; with
 // Options.MissPenalty set to 100 this is the §4.2 higher-latency experiment.
 func (e *Experiment) WindowSweepAll() ([]AppColumns, error) {
-	return e.perApp(func(tr *trace.Trace) ([]Column, error) {
-		return WindowSweep(tr, consistency.RC, nil)
-	})
+	return e.perAppCells(windowSweepCells(consistency.RC, nil))
 }
 
 // WOAll evaluates the weak ordering model (described in §2.1 but not
 // plotted in the paper) across the window sweep — an extension experiment.
 func (e *Experiment) WOAll() ([]AppColumns, error) {
-	return e.perApp(func(tr *trace.Trace) ([]Column, error) {
-		return WindowSweep(tr, consistency.WO, nil)
-	})
-}
-
-func (e *Experiment) perApp(f func(*trace.Trace) ([]Column, error)) ([]AppColumns, error) {
-	var out []AppColumns
-	for _, app := range e.Apps() {
-		run, err := e.Run(app)
-		if err != nil {
-			return nil, err
-		}
-		cols, err := f(run.Trace)
-		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", app, err)
-		}
-		out = append(out, AppColumns{App: app, Cols: cols})
-	}
-	return out, nil
+	return e.perAppCells(windowSweepCells(consistency.WO, nil))
 }
 
 // FormatAppColumns renders one figure for all applications.
@@ -138,20 +120,25 @@ func FormatSummary(avg map[int]float64, perApp map[string]map[int]float64) strin
 
 // DelayReport runs the read-miss delay diagnostic for every application.
 func (e *Experiment) DelayReport() (string, error) {
-	var sb strings.Builder
-	sb.WriteString("Read-miss decode-to-issue delay, RC, window 64, perfect branch prediction (§4.1.3)\n")
-	for _, app := range e.Apps() {
-		run, err := e.Run(app)
-		if err != nil {
-			return "", err
-		}
+	apps := e.Apps()
+	lines := make([]string, len(apps))
+	err := e.perAppJobs(func(i int, run *AppRun) error {
 		h, err := ReadMissDelays(run.Trace)
 		if err != nil {
-			return "", err
+			return err
 		}
-		fmt.Fprintf(&sb, "%-6s misses=%-7d >40cy=%4.0f%%  >50cy=%4.0f%%  >10cy=%4.0f%%\n",
-			strings.ToUpper(app), h.Total,
+		lines[i] = fmt.Sprintf("%-6s misses=%-7d >40cy=%4.0f%%  >50cy=%4.0f%%  >10cy=%4.0f%%\n",
+			strings.ToUpper(apps[i]), h.Total,
 			100*h.FractionAbove(40), 100*h.FractionAbove(50), 100*h.FractionAbove(10))
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Read-miss decode-to-issue delay, RC, window 64, perfect branch prediction (§4.1.3)\n")
+	for _, l := range lines {
+		sb.WriteString(l)
 	}
 	return sb.String(), nil
 }
@@ -162,16 +149,15 @@ func (e *Experiment) AblationStoreBuffer(app string) ([]Column, error) {
 	if err != nil {
 		return nil, err
 	}
-	cols := []Column{{Label: "BASE", Arch: "BASE", Breakdown: cpu.RunBase(run.Trace).Breakdown}}
+	cells := []cell{{label: "BASE", arch: "BASE"}}
 	for _, depth := range []int{1, 2, 4, 8, 16, 32} {
-		res, err := cpu.RunDS(run.Trace, cpu.Config{Model: consistency.RC, Window: 64, StoreBufDepth: depth})
-		if err != nil {
-			return nil, err
-		}
-		cols = append(cols, Column{Label: fmt.Sprintf("SB%d", depth), Arch: "DS", Window: 64, Breakdown: res.Breakdown})
+		depth := depth
+		cells = append(cells, cell{
+			label: fmt.Sprintf("SB%d", depth), arch: "DS", model: consistency.RC, window: 64,
+			mutate: func(c *cpu.Config) { c.StoreBufDepth = depth },
+		})
 	}
-	normalize(cols)
-	return cols, nil
+	return runCells(run.Trace, cells, e.opts.Workers)
 }
 
 // AblationMSHR sweeps the number of outstanding misses allowed.
@@ -180,20 +166,19 @@ func (e *Experiment) AblationMSHR(app string) ([]Column, error) {
 	if err != nil {
 		return nil, err
 	}
-	cols := []Column{{Label: "BASE", Arch: "BASE", Breakdown: cpu.RunBase(run.Trace).Breakdown}}
+	cells := []cell{{label: "BASE", arch: "BASE"}}
 	for _, n := range []int{1, 2, 4, 8, 16, 0} {
+		n := n
 		label := fmt.Sprintf("MSHR%d", n)
 		if n == 0 {
 			label = "MSHRinf"
 		}
-		res, err := cpu.RunDS(run.Trace, cpu.Config{Model: consistency.RC, Window: 64, MSHRs: n})
-		if err != nil {
-			return nil, err
-		}
-		cols = append(cols, Column{Label: label, Arch: "DS", Window: 64, Breakdown: res.Breakdown})
+		cells = append(cells, cell{
+			label: label, arch: "DS", model: consistency.RC, window: 64,
+			mutate: func(c *cpu.Config) { c.MSHRs = n },
+		})
 	}
-	normalize(cols)
-	return cols, nil
+	return runCells(run.Trace, cells, e.opts.Workers)
 }
 
 // MachineRow is one machine size of the processor-count sweep.
@@ -207,10 +192,13 @@ type MachineRow struct {
 
 // MachineSweep regenerates traces on 2-32 processor machines and reports
 // how communication misses and synchronization overhead scale — context for
-// the paper's fixed choice of 16 processors.
+// the paper's fixed choice of 16 processors. The machine sizes simulate
+// concurrently, bounded by base.Workers.
 func MachineSweep(app string, base Options) ([]MachineRow, error) {
-	var rows []MachineRow
-	for _, n := range []int{2, 4, 8, 16, 32} {
+	sizes := []int{2, 4, 8, 16, 32}
+	out := make([]*MachineRow, len(sizes))
+	err := runJobs(len(sizes), base.Workers, func(i int) error {
+		n := sizes[i]
 		opts := base
 		opts.Apps = []string{app}
 		opts.NumCPUs = n
@@ -220,19 +208,29 @@ func MachineSweep(app string, base Options) ([]MachineRow, error) {
 			// Small problem scales cannot always feed 32 processors; skip
 			// machine sizes the application cannot be built for.
 			if _, buildErr := apps.Build(app, n, opts.Scale); buildErr != nil {
-				continue
+				return nil
 			}
-			return nil, err
+			return err
 		}
 		d := run.Trace.Data()
 		b := cpu.RunBase(run.Trace)
-		rows = append(rows, MachineRow{
+		out[i] = &MachineRow{
 			App:          app,
 			NumCPUs:      n,
 			ReadMissRate: d.Per1000(d.ReadMisses),
 			SyncFraction: float64(b.Breakdown.Sync) / float64(b.Breakdown.Total()),
 			BusyCycles:   d.BusyCycles,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []MachineRow
+	for _, r := range out {
+		if r != nil {
+			rows = append(rows, *r)
+		}
 	}
 	return rows, nil
 }
@@ -262,21 +260,24 @@ type ContentionRow struct {
 // Contention re-generates traces under finite memory bandwidth and measures
 // how much of the paper's headline result survives. The paper assumes
 // unbounded bandwidth and calls its results "somewhat optimistic" (§5);
-// this experiment quantifies that optimism.
+// this experiment quantifies that optimism. The bandwidth settings simulate
+// concurrently, bounded by base.Workers.
 func Contention(app string, base Options) ([]ContentionRow, error) {
-	var rows []ContentionRow
-	for _, interval := range []uint32{0, 4, 10, 25} {
+	intervals := []uint32{0, 4, 10, 25}
+	rows := make([]ContentionRow, len(intervals))
+	err := runJobs(len(intervals), base.Workers, func(i int) error {
+		interval := intervals[i]
 		opts := base
 		opts.Apps = []string{app}
 		opts.MemIssueInterval = interval
 		e := New(opts)
 		run, err := e.Run(app)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var lat, misses uint64
-		for i := range run.Trace.Events {
-			ev := &run.Trace.Events[i]
+		for j := range run.Trace.Events {
+			ev := &run.Trace.Events[j]
 			if ev.Instr.Op == isa.OpLd && ev.Miss {
 				misses++
 				lat += uint64(ev.Latency)
@@ -289,12 +290,16 @@ func Contention(app string, base Options) ([]ContentionRow, error) {
 		baseRes := cpu.RunBase(run.Trace)
 		dsRes, err := cpu.RunDS(run.Trace, cpu.Config{Model: consistency.RC, Window: 64})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, ContentionRow{
+		rows[i] = ContentionRow{
 			App: app, IssueInterval: interval, AvgMissLat: avg,
 			BaseTotal: baseRes.Breakdown.Total(), DSTotal: dsRes.Breakdown.Total(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -408,40 +413,43 @@ type ReschedRow struct {
 }
 
 // ReschedAll evaluates compiler rescheduling for every application under RC.
+// The per-application pipelines (reschedule, then four replays) run
+// concurrently, bounded by Options.Workers.
 func (e *Experiment) ReschedAll() ([]ReschedRow, error) {
-	var rows []ReschedRow
-	for _, app := range e.Apps() {
-		run, err := e.Run(app)
-		if err != nil {
-			return nil, err
-		}
+	apps := e.Apps()
+	rows := make([]ReschedRow, len(apps))
+	err := e.perAppJobs(func(i int, run *AppRun) error {
 		moved, st := resched.Reschedule(run.Trace, 0)
 		aggMoved, aggSt := resched.RescheduleLevel(run.Trace, 64, resched.Aggressive)
 		base := cpu.RunBase(run.Trace)
 		ssO, err := cpu.RunSS(run.Trace, cpu.Config{Model: consistency.RC})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ssR, err := cpu.RunSS(moved, cpu.Config{Model: consistency.RC})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ssA, err := cpu.RunSS(aggMoved, cpu.Config{Model: consistency.RC})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ds16, err := cpu.RunDS(run.Trace, cpu.Config{Model: consistency.RC, Window: 16})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, ReschedRow{
-			App: app, Stats: st, AggStats: aggSt,
+		rows[i] = ReschedRow{
+			App: apps[i], Stats: st, AggStats: aggSt,
 			BaseTotal:     base.Breakdown.Total(),
 			SSOriginal:    ssO.Breakdown.Total(),
 			SSRescheduled: ssR.Breakdown.Total(),
 			SSAggressive:  ssA.Breakdown.Total(),
 			DS16:          ds16.Breakdown.Total(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -477,29 +485,35 @@ type CacheGeomRow struct {
 // the cache misses reported mainly reflect inherent communication misses");
 // shrinking the cache adds capacity misses on top.
 func AblationCacheSize(app string, base Options) ([]CacheGeomRow, error) {
-	var rows []CacheGeomRow
-	for _, kb := range []int{8, 16, 32, 64, 128} {
+	sizes := []int{8, 16, 32, 64, 128}
+	rows := make([]CacheGeomRow, len(sizes))
+	err := runJobs(len(sizes), base.Workers, func(i int) error {
+		kb := sizes[i]
 		opts := base
 		opts.Apps = []string{app}
 		e := New(opts)
 		e.cacheBytes = uint64(kb) << 10
 		run, err := e.Run(app)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		d := run.Trace.Data()
 		baseRes := cpu.RunBase(run.Trace)
 		dsRes, err := cpu.RunDS(run.Trace, cpu.Config{Model: consistency.RC, Window: 64})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, CacheGeomRow{
+		rows[i] = CacheGeomRow{
 			CacheKB:       kb,
 			ReadMissRate:  d.Per1000(d.ReadMisses),
 			WriteMissRate: d.Per1000(d.WriteMisses),
 			BaseTotal:     baseRes.Breakdown.Total(),
 			DSTotal:       dsRes.Breakdown.Total(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -524,14 +538,15 @@ func (e *Experiment) AblationBTB(app string, mkBTB func(entries int) trace.Predi
 	if err != nil {
 		return nil, err
 	}
-	cols := []Column{{Label: "BASE", Arch: "BASE", Breakdown: cpu.RunBase(run.Trace).Breakdown}}
+	cells := []cell{{label: "BASE", arch: "BASE"}}
 	for _, entries := range []int{64, 256, 1024, 2048, 8192} {
-		res, err := cpu.RunDS(run.Trace, cpu.Config{Model: consistency.RC, Window: 128, Predictor: mkBTB(entries)})
-		if err != nil {
-			return nil, err
-		}
-		cols = append(cols, Column{Label: fmt.Sprintf("BTB%d", entries), Arch: "DS", Window: 128, Breakdown: res.Breakdown})
+		entries := entries
+		cells = append(cells, cell{
+			label: fmt.Sprintf("BTB%d", entries), arch: "DS", model: consistency.RC, window: 128,
+			// mkBTB runs inside the job so each concurrent replay gets its
+			// own predictor state.
+			mutate: func(c *cpu.Config) { c.Predictor = mkBTB(entries) },
+		})
 	}
-	normalize(cols)
-	return cols, nil
+	return runCells(run.Trace, cells, e.opts.Workers)
 }

@@ -1,0 +1,166 @@
+package exp
+
+// The parallel experiment scheduler. The paper's evaluation is a large
+// embarrassingly-parallel sweep — five applications × processor models ×
+// consistency models × window sizes — and every cell of it is an independent
+// replay of a shared immutable trace, the same fan-out the paper's own
+// methodology uses (one Tango trace, many uniprocessor replays). runJobs is
+// the bounded worker pool all of the harness's fan-outs go through; results
+// are always stored by input index, so every table, figure, and golden
+// artifact is byte-identical regardless of the worker count.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dynsched/internal/consistency"
+	"dynsched/internal/cpu"
+	"dynsched/internal/trace"
+)
+
+// runJobs executes fn(0..n-1) on at most workers goroutines (0 or negative
+// selects runtime.GOMAXPROCS(0)). Each job writes its result into a caller-
+// owned slot keyed by its index, which is what makes the output order
+// deterministic: scheduling decides only when a job runs, never where its
+// result lands. The first error (by completion time) cancels the remaining
+// jobs and is returned.
+func runJobs(n, workers int, fn func(int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		first  error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// cell is one independent bar of a figure or sweep: a processor
+// configuration to replay over a trace.
+type cell struct {
+	label  string
+	arch   string // "BASE", "SSBR", "SS", "DS"
+	model  consistency.Model
+	window int
+	mutate func(*cpu.Config) // optional extra configuration
+}
+
+func (c cell) run(tr *trace.Trace) (Column, error) {
+	cfg := cpu.Config{Model: c.model, Window: c.window}
+	if c.mutate != nil {
+		c.mutate(&cfg)
+	}
+	res, err := runArch(tr, c.arch, cfg)
+	if err != nil {
+		return Column{}, err
+	}
+	return Column{
+		Label: c.label, Model: c.model, Arch: c.arch, Window: c.window,
+		Breakdown: res.Breakdown,
+	}, nil
+}
+
+// runCells replays every cell over tr, fanning the independent replays
+// across workers, and returns the columns in cell order, normalized.
+func runCells(tr *trace.Trace, cells []cell, workers int) ([]Column, error) {
+	cols := make([]Column, len(cells))
+	err := runJobs(len(cells), workers, func(i int) error {
+		c, err := cells[i].run(tr)
+		if err != nil {
+			return err
+		}
+		cols[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	normalize(cols)
+	return cols, nil
+}
+
+// perAppCells generates every application's trace concurrently, then fans
+// the full apps × cells matrix out as one flat job list — the scheduler's
+// main entry point for figures and sweeps.
+func (e *Experiment) perAppCells(cells []cell) ([]AppColumns, error) {
+	apps := e.Apps()
+	runs, err := e.RunAll(apps...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AppColumns, len(apps))
+	cols := make([][]Column, len(apps))
+	for i, app := range apps {
+		out[i].App = app
+		cols[i] = make([]Column, len(cells))
+	}
+	nc := len(cells)
+	err = runJobs(len(apps)*nc, e.opts.Workers, func(k int) error {
+		a, c := k/nc, k%nc
+		col, err := cells[c].run(runs[a].Trace)
+		if err != nil {
+			return err
+		}
+		cols[a][c] = col
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		normalize(cols[i])
+		out[i].Cols = cols[i]
+	}
+	return out, nil
+}
+
+// perAppJobs runs fn once per configured application with its generated
+// trace, bounded by Options.Workers; traces are generated concurrently
+// first. fn must write its result into a slot keyed by the app index.
+func (e *Experiment) perAppJobs(fn func(i int, run *AppRun) error) error {
+	apps := e.Apps()
+	runs, err := e.RunAll(apps...)
+	if err != nil {
+		return err
+	}
+	return runJobs(len(apps), e.opts.Workers, func(i int) error {
+		return fn(i, runs[i])
+	})
+}

@@ -15,15 +15,17 @@ type Table1Row struct {
 	Data trace.DataStats
 }
 
-// Table1 computes the data-reference statistics for every application.
+// Table1 computes the data-reference statistics for every application,
+// scanning the traces concurrently (bounded by Options.Workers).
 func (e *Experiment) Table1() ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, app := range e.Apps() {
-		run, err := e.Run(app)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table1Row{App: app, Data: run.Trace.Data()})
+	apps := e.Apps()
+	rows := make([]Table1Row, len(apps))
+	err := e.perAppJobs(func(i int, run *AppRun) error {
+		rows[i] = Table1Row{App: apps[i], Data: run.Trace.Data()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -55,15 +57,17 @@ type Table2Row struct {
 	Busy uint64
 }
 
-// Table2 computes the synchronization statistics for every application.
+// Table2 computes the synchronization statistics for every application,
+// scanning the traces concurrently (bounded by Options.Workers).
 func (e *Experiment) Table2() ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, app := range e.Apps() {
-		run, err := e.Run(app)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table2Row{App: app, Sync: run.Trace.Sync(), Busy: run.Trace.Data().BusyCycles})
+	apps := e.Apps()
+	rows := make([]Table2Row, len(apps))
+	err := e.perAppJobs(func(i int, run *AppRun) error {
+		rows[i] = Table2Row{App: apps[i], Sync: run.Trace.Sync(), Busy: run.Trace.Data().BusyCycles}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -97,15 +101,17 @@ type Table3Row struct {
 }
 
 // Table3 computes branch statistics using the paper's BTB (2048-entry,
-// 4-way, 2-bit counters).
+// 4-way, 2-bit counters). Each application replays through its own BTB
+// instance, so the per-app jobs run concurrently.
 func (e *Experiment) Table3() ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, app := range e.Apps() {
-		run, err := e.Run(app)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table3Row{App: app, Branches: run.Trace.Branches(bpred.NewPaperBTB())})
+	apps := e.Apps()
+	rows := make([]Table3Row, len(apps))
+	err := e.perAppJobs(func(i int, run *AppRun) error {
+		rows[i] = Table3Row{App: apps[i], Branches: run.Trace.Branches(bpred.NewPaperBTB())}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -148,10 +148,10 @@ type sim struct {
 	memNextFree uint64 // earliest time the memory system accepts a new miss
 
 	// Observability (all optional; see Config.Metrics / Config.Progress).
-	wbHist   *obs.Histogram // store-time write-buffer backlog, in cycles
-	steps    uint64         // instructions executed machine-wide
-	pubSteps uint64         // steps already published to Progress
-	pubCycle uint64         // latest global time published to Progress
+	wbHist   *obs.HistogramBatch // store-time write-buffer backlog, in cycles (merged once per run)
+	steps    uint64              // instructions executed machine-wide
+	pubSteps uint64              // steps already published to Progress
+	pubCycle uint64              // latest global time published to Progress
 }
 
 // Run simulates progs (one per processor; len(progs) must equal
@@ -193,7 +193,7 @@ func Run(progs []*asm.Program, memInit func(m *vm.PagedMem), cfg Config) (*Resul
 			cfg.MetricsPrefix = "tango."
 		}
 		s.wbHist = cfg.Metrics.Histogram(cfg.MetricsPrefix+"writebuf.backlog_cycles",
-			0, 1, 2, 5, 10, 25, 50, 100, 250)
+			0, 1, 2, 5, 10, 25, 50, 100, 250).Batch()
 	}
 	if cfg.TraceCPU >= 0 {
 		s.tr = &trace.Trace{
@@ -258,6 +258,7 @@ func (s *sim) publishProgress(now uint64) {
 // publishMetrics exports the run's per-CPU and machine-level counters into
 // Config.Metrics under the "tango." prefix. No-op without a registry.
 func (s *sim) publishMetrics(res *Result) {
+	s.wbHist.Flush()
 	reg := s.cfg.Metrics
 	if reg == nil {
 		return

@@ -34,6 +34,11 @@ const formatVersion = 1
 
 const eventSize = 40
 
+// recBatch is how many event records are encoded or decoded per buffer
+// operation; paper-scale traces have millions of events, so batching keeps
+// the per-event serialization cost to plain stores into a reused buffer.
+const recBatch = 512
+
 const (
 	flagMiss  = 1 << 0
 	flagTaken = 1 << 1
@@ -66,29 +71,36 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	if err := put(cnt[:]); err != nil {
 		return n, err
 	}
-	var rec [eventSize]byte
-	for i := range t.Events {
-		e := &t.Events[i]
-		binary.LittleEndian.PutUint32(rec[0:4], uint32(e.PC))
-		binary.LittleEndian.PutUint32(rec[4:8], uint32(e.NextPC))
-		rec[8] = uint8(e.Instr.Op)
-		rec[9] = e.Instr.Dst
-		rec[10] = e.Instr.Src1
-		rec[11] = e.Instr.Src2
-		var flags uint8
-		if e.Miss {
-			flags |= flagMiss
+	buf := make([]byte, recBatch*eventSize)
+	for base := 0; base < len(t.Events); base += recBatch {
+		end := base + recBatch
+		if end > len(t.Events) {
+			end = len(t.Events)
 		}
-		if e.Taken {
-			flags |= flagTaken
+		for i := base; i < end; i++ {
+			e := &t.Events[i]
+			rec := buf[(i-base)*eventSize:][:eventSize]
+			binary.LittleEndian.PutUint32(rec[0:4], uint32(e.PC))
+			binary.LittleEndian.PutUint32(rec[4:8], uint32(e.NextPC))
+			rec[8] = uint8(e.Instr.Op)
+			rec[9] = e.Instr.Dst
+			rec[10] = e.Instr.Src1
+			rec[11] = e.Instr.Src2
+			var flags uint8
+			if e.Miss {
+				flags |= flagMiss
+			}
+			if e.Taken {
+				flags |= flagTaken
+			}
+			rec[12] = flags
+			rec[13], rec[14], rec[15] = 0, 0, 0
+			binary.LittleEndian.PutUint64(rec[16:24], uint64(e.Instr.Imm))
+			binary.LittleEndian.PutUint64(rec[24:32], e.Addr)
+			binary.LittleEndian.PutUint32(rec[32:36], e.Latency)
+			binary.LittleEndian.PutUint32(rec[36:40], e.Wait)
 		}
-		rec[12] = flags
-		rec[13], rec[14], rec[15] = 0, 0, 0
-		binary.LittleEndian.PutUint64(rec[16:24], uint64(e.Instr.Imm))
-		binary.LittleEndian.PutUint64(rec[24:32], e.Addr)
-		binary.LittleEndian.PutUint32(rec[32:36], e.Latency)
-		binary.LittleEndian.PutUint32(rec[36:40], e.Wait)
-		if err := put(rec[:]); err != nil {
+		if err := put(buf[:(end-base)*eventSize]); err != nil {
 			return n, err
 		}
 	}
@@ -131,27 +143,34 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: implausible event count %d", count)
 	}
 	t.Events = make([]Event, count)
-	var rec [eventSize]byte
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: short event %d: %w", i, err)
+	buf := make([]byte, recBatch*eventSize)
+	for base := uint64(0); base < count; base += recBatch {
+		nrec := count - base
+		if nrec > recBatch {
+			nrec = recBatch
 		}
-		e := &t.Events[i]
-		e.PC = int32(binary.LittleEndian.Uint32(rec[0:4]))
-		e.NextPC = int32(binary.LittleEndian.Uint32(rec[4:8]))
-		e.Instr.Op = isa.Op(rec[8])
-		if !e.Instr.Op.Valid() {
-			return nil, fmt.Errorf("trace: event %d has invalid opcode %d", i, rec[8])
+		if _, err := io.ReadFull(br, buf[:nrec*eventSize]); err != nil {
+			return nil, fmt.Errorf("trace: short event %d: %w", base, err)
 		}
-		e.Instr.Dst = rec[9]
-		e.Instr.Src1 = rec[10]
-		e.Instr.Src2 = rec[11]
-		e.Miss = rec[12]&flagMiss != 0
-		e.Taken = rec[12]&flagTaken != 0
-		e.Instr.Imm = int64(binary.LittleEndian.Uint64(rec[16:24]))
-		e.Addr = binary.LittleEndian.Uint64(rec[24:32])
-		e.Latency = binary.LittleEndian.Uint32(rec[32:36])
-		e.Wait = binary.LittleEndian.Uint32(rec[36:40])
+		for i := base; i < base+nrec; i++ {
+			rec := buf[(i-base)*eventSize:][:eventSize]
+			e := &t.Events[i]
+			e.PC = int32(binary.LittleEndian.Uint32(rec[0:4]))
+			e.NextPC = int32(binary.LittleEndian.Uint32(rec[4:8]))
+			e.Instr.Op = isa.Op(rec[8])
+			if !e.Instr.Op.Valid() {
+				return nil, fmt.Errorf("trace: event %d has invalid opcode %d", i, rec[8])
+			}
+			e.Instr.Dst = rec[9]
+			e.Instr.Src1 = rec[10]
+			e.Instr.Src2 = rec[11]
+			e.Miss = rec[12]&flagMiss != 0
+			e.Taken = rec[12]&flagTaken != 0
+			e.Instr.Imm = int64(binary.LittleEndian.Uint64(rec[16:24]))
+			e.Addr = binary.LittleEndian.Uint64(rec[24:32])
+			e.Latency = binary.LittleEndian.Uint32(rec[32:36])
+			e.Wait = binary.LittleEndian.Uint32(rec[36:40])
+		}
 	}
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("trace: deserialized trace invalid: %w", err)

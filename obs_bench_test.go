@@ -32,6 +32,7 @@ type obsBenchReport struct {
 }
 
 func BenchmarkObsOverhead(b *testing.B) {
+	b.ReportAllocs()
 	e := benchHarness(b)
 	run, err := e.Run("ocean")
 	if err != nil {
@@ -44,6 +45,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 
 	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
 		cfg := cpu.Config{Model: consistency.RC, Window: 64}
 		for i := 0; i < b.N; i++ {
 			if _, err := cpu.RunDS(tr, cfg); err != nil {
@@ -53,6 +55,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 		rep.DisabledNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	})
 	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
 		// The sinks are allocated once and reused, as a long-lived harness
 		// would: this measures the per-instruction instrumentation cost, not
 		// ring-buffer allocation.

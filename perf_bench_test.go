@@ -1,0 +1,151 @@
+package dynsched
+
+// BenchmarkPerf tracks the two performance claims of the parallel
+// experiment scheduler work: the serial-vs-parallel wall time of a full
+// figure regeneration (WindowSweepAll across all five applications), and
+// the steady-state allocation count of a pooled-scratch DS replay. The
+// numbers are written to BENCH_perf.json so they are tracked in the
+// repository. On a single-core host the serial and parallel sweeps time
+// out the same — the speedup column is only meaningful at GOMAXPROCS >= 2.
+//
+// TestRunDSSteadyStateAllocs is the regression guard on the allocation
+// work: before the scratch pooling a small-scale RC/W64 RunDS replay cost
+// 1910 allocs/op; pooling the simulator state brought it to single digits.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"dynsched/internal/apps"
+	"dynsched/internal/consistency"
+	"dynsched/internal/cpu"
+	"dynsched/internal/exp"
+)
+
+type perfBenchReport struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Scale      string `json:"scale"`
+
+	SweepSerialNs   float64 `json:"windowsweepall_serial_ns_per_op"`
+	SweepParallelNs float64 `json:"windowsweepall_parallel_ns_per_op"`
+	SweepSpeedup    float64 `json:"windowsweepall_speedup"`
+
+	RunDSNs       float64 `json:"runds_ns_per_op"`
+	RunDSAllocs   float64 `json:"runds_allocs_per_op"`
+	RunDSBaseline float64 `json:"runds_allocs_per_op_before_pooling"`
+}
+
+// sweepHarness builds a harness with the given worker bound and all five
+// traces pre-generated, so the benchmark measures only the replay fan-out.
+func sweepHarness(b *testing.B, workers int) *exp.Experiment {
+	b.Helper()
+	opts := exp.DefaultOptions()
+	opts.Scale = apps.ScaleSmall
+	opts.Workers = workers
+	e := exp.New(opts)
+	if _, err := e.RunAll(e.Apps()...); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkPerf(b *testing.B) {
+	b.ReportAllocs()
+	rep := perfBenchReport{
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: "small",
+		RunDSBaseline: 1910,
+	}
+
+	b.Run("WindowSweepAll/serial", func(b *testing.B) {
+		b.ReportAllocs()
+		e := sweepHarness(b, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.WindowSweepAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rep.SweepSerialNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("WindowSweepAll/parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		e := sweepHarness(b, 0) // GOMAXPROCS workers
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.WindowSweepAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rep.SweepParallelNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("RunDS", func(b *testing.B) {
+		b.ReportAllocs()
+		e := benchHarness(b)
+		run, err := e.Run("ocean")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := cpu.Config{Model: consistency.RC, Window: 64}
+		if _, err := cpu.RunDS(run.Trace, cfg); err != nil { // warm the scratch pool
+			b.Fatal(err)
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cpu.RunDS(run.Trace, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&ms1)
+		rep.RunDSNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		rep.RunDSAllocs = float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
+	})
+
+	if rep.SweepSerialNs > 0 && rep.SweepParallelNs > 0 {
+		rep.SweepSpeedup = rep.SweepSerialNs / rep.SweepParallelNs
+		b.ReportMetric(rep.SweepSpeedup, "sweep-speedup")
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_perf.json", append(out, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRunDSSteadyStateAllocs is the allocation regression guard: a pooled
+// RC/W64 replay must stay far below the 1910 allocs/op the pre-pooling
+// simulator cost (the acceptance bar is a 5x reduction, i.e. <= 382).
+func TestRunDSSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow at -short")
+	}
+	opts := exp.DefaultOptions()
+	opts.Scale = apps.ScaleSmall
+	opts.Apps = []string{"ocean"}
+	e := exp.New(opts)
+	run, err := e.Run("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.Config{Model: consistency.RC, Window: 64}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := cpu.RunDS(run.Trace, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Generous headroom over the measured ~6 allocs/op, still ~20x under
+	// the 382 acceptance bar.
+	if allocs > 100 {
+		t.Errorf("RunDS steady state = %.0f allocs/op, want <= 100 (pre-pooling baseline was 1910)", allocs)
+	}
+}
