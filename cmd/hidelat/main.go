@@ -41,11 +41,33 @@
 // trace-event JSON when the path ends in .json); -progress prints a
 // throughput line to stderr every second; -cpuprofile/-memprofile write
 // runtime/pprof profiles.
+//
+// -serve ADDR starts a live HTTP server for the duration of the run
+// (":0" picks a free port; the bound address is printed to stderr) exposing
+// /metrics (Prometheus text), /metrics.json, /jobs (the experiment
+// scheduler's per-job board), /progress, /healthz, and /debug/pprof/.
+//
+// -ledger PATH appends one structured JSON-Lines record per invocation:
+// run id, version, options, wall time, allocator statistics, per-app
+// generation cycles, per-cell replay cycles and MCPI, and a determinism
+// checksum of the metrics snapshot.
+//
+// The diff subcommand compares two run artifacts:
+//
+//	hidelat diff [-threshold 0.05] [-json] OLD NEW
+//
+// OLD and NEW may each be a JSON-Lines run ledger (the newest record wins),
+// a single ledger record, a -metrics-out snapshot, or any JSON object with
+// numeric leaves. All tracked metrics are cost metrics, so an increase
+// beyond the threshold is a regression; diff exits non-zero when any
+// tracked metric regresses, which lets CI gate on the trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -68,6 +90,10 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "diff" {
+		return runDiff(args[1:])
+	}
+	start := time.Now()
 	fs := flag.NewFlagSet("hidelat", flag.ContinueOnError)
 	scaleName := fs.String("scale", "medium", "problem scale: small, medium, or paper")
 	latency := fs.Uint("latency", 50, "cache miss penalty in cycles")
@@ -79,12 +105,15 @@ func run(args []string) error {
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
 	pipeOut := fs.String("pipe-trace-out", "", "write a pipeline trace of an RC-DS64 replay of the first app (.json = Chrome trace, else Konata)")
 	progress := fs.Bool("progress", false, "print simulation throughput to stderr every second")
+	serveAddr := fs.String("serve", "", "serve live /metrics, /jobs, /progress, and /debug/pprof on this address while the run executes (e.g. :8080; :0 picks a free port)")
+	ledgerPath := fs.String("ledger", "", "append one JSON-Lines run record (cycles, MCPI, wall time, determinism checksum) to this file")
 	cpuProfile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	version := fs.Bool("version", false, "print the version and exit")
 	fs.BoolVar(version, "v", false, "shorthand for -version")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "Usage: hidelat [flags] <experiment>\n\n")
+		fmt.Fprintf(fs.Output(), "Usage: hidelat [flags] <experiment>\n")
+		fmt.Fprintf(fs.Output(), "       hidelat diff [-threshold 0.05] [-json] OLD NEW\n\n")
 		fmt.Fprintf(fs.Output(), "Experiments: table1 table2 table3 fig3 fig4 summary delays latency100\n")
 		fmt.Fprintf(fs.Output(), "             issue4 wo scpf resched cachegeom contexts contention\n")
 		fmt.Fprintf(fs.Output(), "             machines distances ablate all\n\nFlags:\n")
@@ -132,18 +161,50 @@ func run(args []string) error {
 		}
 		defer stop()
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serveAddr != "" || *ledgerPath != "" {
 		metricsReg = obs.NewRegistry()
 		opts.Metrics = metricsReg
 	}
-	if *progress {
-		pr := obs.NewProgress(os.Stderr, time.Second)
+	var pr *obs.Progress
+	if *progress || *serveAddr != "" {
+		// The live server's /progress endpoint needs a ticker even when the
+		// stderr printout is off; io.Discard keeps the terminal quiet.
+		out := io.Writer(io.Discard)
+		if *progress {
+			out = os.Stderr
+		}
+		pr = obs.NewProgress(out, time.Second)
 		pr.Start()
 		defer pr.Stop()
 		opts.Progress = pr
 	}
+	if *serveAddr != "" {
+		opts.Board = obs.NewJobBoard()
+		srv, err := obs.StartServer(*serveAddr, obs.ServerState{
+			Registry: metricsReg, Board: opts.Board, Progress: pr, Version: dynsched.Version,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "hidelat: live server on http://%s/ (metrics, jobs, progress, pprof)\n", srv.Addr)
+	}
 	e := exp.New(opts)
 	emitCSV = *csvOut
+	writeLedger := func(cmd string) error {
+		if *ledgerPath == "" {
+			return nil
+		}
+		rec := obs.BuildLedgerRecord(dynsched.Version, cmd, args, map[string]any{
+			"scale": *scaleName, "latency": *latency, "cpus": *cpus,
+			"tracecpu": *traceCPU, "apps": *appList, "j": *workers,
+		}, start, metricsReg.Snapshot())
+		if err := obs.AppendLedger(*ledgerPath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hidelat: appended run %s to ledger %s\n", rec.ID, *ledgerPath)
+		return nil
+	}
 
 	steps := map[string]func(*exp.Experiment) error{
 		"table1":     table1,
@@ -182,7 +243,10 @@ func run(args []string) error {
 		if err := latency100(exp.New(opts100)); err != nil {
 			return err
 		}
-		return finishObs(e, *metricsOut, *pipeOut, *memProfile)
+		if err := finishObs(e, *metricsOut, *pipeOut, *memProfile); err != nil {
+			return err
+		}
+		return writeLedger(what)
 	}
 	step, ok := steps[what]
 	if !ok {
@@ -196,7 +260,57 @@ func run(args []string) error {
 	if err := step(e); err != nil {
 		return err
 	}
-	return finishObs(e, *metricsOut, *pipeOut, *memProfile)
+	if err := finishObs(e, *metricsOut, *pipeOut, *memProfile); err != nil {
+		return err
+	}
+	return writeLedger(what)
+}
+
+// runDiff implements `hidelat diff OLD NEW`: load the tracked metrics of two
+// run artifacts, compare them, and exit non-zero when anything regressed.
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("hidelat diff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.05, "relative change beyond which a metric counts as regressed (0.05 = 5%)")
+	jsonOut := fs.Bool("json", false, "emit the diff report as JSON instead of text")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: hidelat diff [flags] OLD NEW\n\n"+
+			"Compares the tracked metrics of two run artifacts: JSON-Lines run\n"+
+			"ledgers (the newest record wins), single ledger records, -metrics-out\n"+
+			"snapshots, or any JSON object with numeric leaves. Exits non-zero when\n"+
+			"a tracked metric regressed beyond the threshold.\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("diff: expected exactly two run artifacts, got %d", fs.NArg())
+	}
+	oldM, oldKind, oldFNV, err := obs.LoadMetricsFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newM, newKind, newFNV, err := obs.LoadMetricsFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rep := obs.DiffMetrics(oldM, newM, obs.DiffOptions{Threshold: *threshold})
+	rep.OldFNV, rep.NewFNV = oldFNV, newFNV
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("old: %s (%s)\nnew: %s (%s)\n", fs.Arg(0), oldKind, fs.Arg(1), newKind)
+		fmt.Print(rep.Format())
+	}
+	if rep.Regressions > 0 {
+		return fmt.Errorf("diff: %d tracked metric(s) regressed beyond ±%.3g%%", rep.Regressions, 100**threshold)
+	}
+	return nil
 }
 
 // finishObs writes the observability artifacts requested on the command

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"dynsched/internal/obs"
 )
 
 // captureRun executes run(args) with stdout captured.
@@ -107,6 +111,75 @@ func TestCLICSVOutput(t *testing.T) {
 	}
 	if !strings.Contains(out, "lu,RC-DS64,RC,DS,64,") {
 		t.Errorf("csv rows missing:\n%s", out)
+	}
+}
+
+// TestCLILedgerAndDiff runs a small experiment with -ledger, then exercises
+// the diff subcommand: identical runs compare clean, a doctored record with
+// inflated cycles makes diff fail with a regression.
+func TestCLILedgerAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	ledger := filepath.Join(dir, "runs.jsonl")
+	if _, err := captureRun(t, "-scale", "small", "-apps", "lu", "-j", "2",
+		"-ledger", ledger, "fig3"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadLedger(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("ledger has %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Cmd != "fig3" || rec.MetricsFNV == "" || len(rec.Cells) == 0 {
+		t.Fatalf("ledger record incomplete: %+v", rec)
+	}
+	if _, ok := rec.Apps["lu"]; !ok {
+		t.Fatalf("ledger apps = %v, want lu", rec.Apps)
+	}
+
+	// A run diffed against itself must pass.
+	out, err := captureRun(t, "diff", ledger, ledger)
+	if err != nil {
+		t.Fatalf("self-diff failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "0 regressed") {
+		t.Errorf("self-diff output:\n%s", out)
+	}
+
+	// Inflate one cell's cycle count well past the threshold: diff must fail.
+	worseRec := rec
+	worseRec.Cells = make(map[string]obs.LedgerCell, len(rec.Cells))
+	for k, c := range rec.Cells {
+		c.Cycles = c.Cycles * 3 / 2
+		worseRec.Cells[k] = c
+	}
+	data, err := json.Marshal(worseRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := filepath.Join(dir, "worse.json")
+	if err := os.WriteFile(worse, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = captureRun(t, "diff", ledger, worse)
+	if err == nil {
+		t.Fatalf("diff accepted a 50%% cycle regression:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("diff error = %v, want a regression message", err)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("diff output missing REGRESSION lines:\n%s", out)
+	}
+
+	// Usage errors.
+	if _, err := captureRun(t, "diff", ledger); err == nil {
+		t.Error("diff with one argument accepted")
+	}
+	if _, err := captureRun(t, "diff", ledger, filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("diff with a missing file accepted")
 	}
 }
 

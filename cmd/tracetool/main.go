@@ -232,11 +232,11 @@ func replay(args []string) error {
 	}
 	if *progress {
 		pr := obs.NewProgress(os.Stderr, time.Second)
-		pr.SetLabel(tr.App)
-		pr.SetTotal(uint64(tr.Len()))
 		pr.Start()
 		defer pr.Stop()
-		cfg.Progress = pr
+		lane := pr.Lane(tr.App)
+		lane.SetTotal(uint64(tr.Len()))
+		cfg.Progress = lane
 	}
 	var res cpu.Result
 	switch *arch {

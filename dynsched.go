@@ -55,7 +55,7 @@ import (
 
 // Version identifies the dynsched build; the command-line tools report it
 // via their -version flags.
-const Version = "0.3.0"
+const Version = "0.4.0"
 
 // Consistency models (§2.1 of the paper).
 const (
@@ -130,8 +130,32 @@ type MetricsSnapshot = obs.Snapshot
 type PipeTracer = obs.PipeTracer
 
 // Progress is a background ticker printing instruction and simulated-cycle
-// throughput while a simulation runs.
+// throughput while a simulation runs. Concurrent simulations each report
+// through their own labelled lane (Progress.Lane), so interleaved runs get
+// side-by-side rows instead of clobbering one shared counter.
 type Progress = obs.Progress
+
+// JobBoard is the live queued/running/done board of experiment-scheduler
+// jobs, served as JSON by the live server's /jobs endpoint.
+type JobBoard = obs.JobBoard
+
+// ServerState bundles the instrumentation a live observability server
+// exposes; Server is the server itself (see StartServer).
+type (
+	ServerState = obs.ServerState
+	Server      = obs.Server
+)
+
+// NewJobBoard creates an empty job board.
+func NewJobBoard() *JobBoard { return obs.NewJobBoard() }
+
+// StartServer starts the live observability HTTP server on addr (":0"
+// selects an ephemeral port; Server.Addr reports the bound address). It
+// serves /metrics (Prometheus text), /metrics.json, /jobs, /progress,
+// /healthz, and /debug/pprof/.
+func StartServer(addr string, st ServerState) (*Server, error) {
+	return obs.StartServer(addr, st)
+}
 
 // NewMetrics creates an empty metrics registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
@@ -185,10 +209,12 @@ func GenerateTrace(app string, opts TraceOptions) (*TraceRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	lane := opts.Observe.Progress.Lane(app)
+	defer lane.Done()
 	cfg := tango.Config{
 		NumCPUs: opts.NumCPUs, TraceCPU: opts.TraceCPU, Mem: mem.DefaultConfig(),
 		Metrics: opts.Observe.Metrics, MetricsPrefix: opts.Observe.MetricsPrefix,
-		Progress: opts.Observe.Progress,
+		Progress: lane,
 	}
 	cfg.Mem.MissPenalty = opts.MissPenalty
 	var m *vm.PagedMem
@@ -233,6 +259,12 @@ type ProcessorConfig struct {
 
 // Run replays tr through the configured processor model.
 func Run(tr *Trace, pc ProcessorConfig) (Result, error) {
+	arch := pc.Arch
+	if arch == "" {
+		arch = ArchBase
+	}
+	lane := pc.Observe.Progress.Lane(string(arch))
+	defer lane.Done()
 	cfg := cpu.Config{
 		Model:          pc.Model,
 		Window:         pc.Window,
@@ -245,13 +277,13 @@ func Run(tr *Trace, pc ProcessorConfig) (Result, error) {
 		Metrics:        pc.Observe.Metrics,
 		MetricsPrefix:  pc.Observe.MetricsPrefix,
 		Pipe:           pc.Observe.Pipe,
-		Progress:       pc.Observe.Progress,
+		Progress:       lane,
 	}
 	if pc.PerfectBranches {
 		cfg.Predictor = bpred.Perfect{}
 	}
-	switch pc.Arch {
-	case ArchBase, "":
+	switch arch {
+	case ArchBase:
 		res := cpu.RunBase(tr)
 		cpu.PublishResult(pc.Observe.Metrics, pc.Observe.MetricsPrefix, res)
 		return res, nil

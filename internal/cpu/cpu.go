@@ -195,8 +195,9 @@ type Config struct {
 	// Konata / Chrome-trace export.
 	Pipe *obs.PipeTracer
 	// Progress receives periodic instruction/cycle counts for the -progress
-	// ticker.
-	Progress *obs.Progress
+	// ticker, as one labelled lane so concurrent replays do not clobber each
+	// other's rows (obtain one via Progress.Lane).
+	Progress *obs.Lane
 }
 
 func (c Config) withDefaults() Config {

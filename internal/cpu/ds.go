@@ -223,14 +223,16 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 	}
 
 	// Observability: occupancy/delay histograms when metrics are on, batched
-	// per run so the hot loop never touches the shared registry.
+	// per run so the hot loop never touches the shared registry. The batches
+	// are registry-registered, so a snapshot taken mid-run (live /metrics,
+	// -metrics-out on error) still sees their pending samples.
 	var robHist, sbHist, mshrHist, delayHist *obs.HistogramBatch
 	if cfg.Metrics != nil {
 		p := cfg.MetricsPrefix
-		robHist = cfg.Metrics.Histogram(obs.Prefixed(p, "rob.occupancy"), occupancyBuckets...).Batch()
-		sbHist = cfg.Metrics.Histogram(obs.Prefixed(p, "storebuf.occupancy"), bufferBuckets...).Batch()
-		mshrHist = cfg.Metrics.Histogram(obs.Prefixed(p, "mshr.outstanding"), bufferBuckets...).Batch()
-		delayHist = cfg.Metrics.Histogram(obs.Prefixed(p, "readmiss.issue_delay"), delayBuckets...).Batch()
+		robHist = cfg.Metrics.HistogramBatch(obs.Prefixed(p, "rob.occupancy"), occupancyBuckets...)
+		sbHist = cfg.Metrics.HistogramBatch(obs.Prefixed(p, "storebuf.occupancy"), bufferBuckets...)
+		mshrHist = cfg.Metrics.HistogramBatch(obs.Prefixed(p, "mshr.outstanding"), bufferBuckets...)
+		delayHist = cfg.Metrics.HistogramBatch(obs.Prefixed(p, "readmiss.issue_delay"), delayBuckets...)
 	}
 	at := func(seq int) *dsEntry { return &entries[seq%window] }
 	inROB := func(seq int) bool {
@@ -586,10 +588,10 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 	if t > 0 {
 		res.AvgOccupancy = float64(occupancySum) / float64(t)
 	}
-	robHist.Flush()
-	sbHist.Flush()
-	mshrHist.Flush()
-	delayHist.Flush()
+	robHist.Close()
+	sbHist.Close()
+	mshrHist.Close()
+	delayHist.Close()
 	cfg.Progress.Publish(uint64(headSeq), t)
 	publishResult(&cfg, res)
 	return res, nil

@@ -39,6 +39,15 @@ func PublishResult(reg *obs.Registry, prefix string, res Result) {
 	if res.AvgOccupancy > 0 {
 		reg.Gauge(obs.Prefixed(prefix, "rob.avg_occupancy")).Set(res.AvgOccupancy)
 	}
+	// Derived per-instruction rates under the names the run ledger and
+	// regression diff track: cpi (total cycles per instruction) and mcpi
+	// (memory stall cycles — read + write — per instruction, the paper's
+	// latency-hiding figure of merit).
+	if res.Instructions > 0 {
+		n := float64(res.Instructions)
+		reg.Gauge(obs.Prefixed(prefix, "cpi")).Set(float64(b.Total()) / n)
+		reg.Gauge(obs.Prefixed(prefix, "mcpi")).Set(float64(b.Read+b.Write) / n)
+	}
 }
 
 // publishResult is PublishResult for models driven by a Config.

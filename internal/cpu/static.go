@@ -195,8 +195,8 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 	var wbHist, rbHist *obs.HistogramBatch
 	if cfg.Metrics != nil {
 		p := cfg.MetricsPrefix
-		wbHist = cfg.Metrics.Histogram(obs.Prefixed(p, "writebuf.occupancy"), bufferBuckets...).Batch()
-		rbHist = cfg.Metrics.Histogram(obs.Prefixed(p, "readbuf.occupancy"), bufferBuckets...).Batch()
+		wbHist = cfg.Metrics.HistogramBatch(obs.Prefixed(p, "writebuf.occupancy"), bufferBuckets...)
+		rbHist = cfg.Metrics.HistogramBatch(obs.Prefixed(p, "readbuf.occupancy"), bufferBuckets...)
 	}
 	recordAccept := func(e *trace.Event) {
 		if cfg.Pipe != nil {
@@ -354,8 +354,8 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 	}
 
 	res := Result{Breakdown: bd, Instructions: uint64(len(events))}
-	wbHist.Flush()
-	rbHist.Flush()
+	wbHist.Close()
+	rbHist.Close()
 	cfg.Progress.Publish(uint64(idx), t)
 	publishResult(&cfg, res)
 	return res, nil

@@ -46,8 +46,13 @@ type Options struct {
 	// metrics plus per-app "exp.<app>." wall-time and throughput gauges).
 	Metrics *obs.Registry
 	// Progress, when non-nil, receives executed-instruction and simulated-
-	// cycle progress from the trace-generation simulations.
+	// cycle progress from the trace-generation simulations, one labelled
+	// lane per application so concurrent generations report side by side.
 	Progress *obs.Progress
+	// Board, when non-nil, receives one job per unit of harness work —
+	// trace generations and the replay cells of figures, sweeps, and
+	// ablations — feeding the live server's /jobs endpoint.
+	Board *obs.JobBoard
 }
 
 // DefaultOptions returns the paper's main configuration at medium scale.
@@ -144,17 +149,25 @@ func (e *Experiment) RunAll(names ...string) ([]*AppRun, error) {
 
 // generate performs one application's trace generation (the multiprocessor
 // simulation), result check, and validation.
-func (e *Experiment) generate(app string) (*AppRun, error) {
+func (e *Experiment) generate(app string) (run *AppRun, err error) {
+	job := e.opts.Board.Enqueue("gen " + app)
+	e.opts.Board.Start(job)
+	defer func() { e.opts.Board.Finish(job, err) }()
 	a, err := apps.Build(app, e.opts.NumCPUs, e.opts.Scale)
 	if err != nil {
 		return nil, err
 	}
+	// Each generation reports through its own progress lane, so concurrent
+	// applications get side-by-side ticker rows instead of clobbering a
+	// shared label.
+	lane := e.opts.Progress.Lane(app)
+	defer lane.Done()
 	cfg := tango.Config{
 		NumCPUs:  e.opts.NumCPUs,
 		TraceCPU: e.opts.TraceCPU % e.opts.NumCPUs,
 		Mem:      mem.DefaultConfig(),
 		Metrics:  e.opts.Metrics,
-		Progress: e.opts.Progress,
+		Progress: lane,
 	}
 	cfg.MetricsPrefix = "tango." + app + "."
 	cfg.Mem.MissPenalty = e.opts.MissPenalty
@@ -162,7 +175,6 @@ func (e *Experiment) generate(app string) (*AppRun, error) {
 	if e.cacheBytes != 0 {
 		cfg.Mem.CacheBytes = e.cacheBytes
 	}
-	e.opts.Progress.SetLabel(app)
 	var m *vm.PagedMem
 	start := time.Now()
 	res, err := tango.Run(a.Progs, func(pm *vm.PagedMem) {
@@ -201,13 +213,14 @@ var Windows = []int{16, 32, 64, 128, 256}
 // Column is one bar of Figure 3 or Figure 4: a processor configuration and
 // its execution-time breakdown, normalized against BASE.
 type Column struct {
-	Label      string
-	Model      consistency.Model
-	Arch       string // "BASE", "SSBR", "SS", "DS"
-	Window     int    // DS only
-	Breakdown  cpu.Breakdown
-	Normalized float64 // total execution time as % of BASE
-	ReadHidden float64 // fraction of BASE read-miss stall removed
+	Label        string
+	Model        consistency.Model
+	Arch         string // "BASE", "SSBR", "SS", "DS"
+	Window       int    // DS only
+	Breakdown    cpu.Breakdown
+	Instructions uint64  // instructions replayed (MCPI denominator)
+	Normalized   float64 // total execution time as % of BASE
+	ReadHidden   float64 // fraction of BASE read-miss stall removed
 }
 
 // RecordColumns publishes a figure's per-column execution-time breakdowns
@@ -228,7 +241,14 @@ func RecordColumns(reg *obs.Registry, figure, app string, cols []Column) {
 		set("stall.write", c.Breakdown.Write)
 		set("stall.branch", c.Breakdown.Branch)
 		set("stall.other", c.Breakdown.Other)
+		set("instructions", c.Instructions)
 		reg.Gauge(pre + "normalized_pct").Set(c.Normalized)
+		if c.Instructions > 0 {
+			// MCPI: memory stall cycles per instruction — the run ledger's
+			// per-cell latency-hiding figure of merit.
+			mcpi := float64(c.Breakdown.Read+c.Breakdown.Write) / float64(c.Instructions)
+			reg.Gauge(pre + "mcpi").Set(mcpi)
+		}
 	}
 }
 
@@ -285,7 +305,7 @@ func figure3Cells() []cell {
 // Figure3 runs the §4.1 processor/model matrix over one application trace,
 // fanning the independent replays across GOMAXPROCS workers.
 func Figure3(tr *trace.Trace) ([]Column, error) {
-	return runCells(tr, figure3Cells(), 0)
+	return runCells(tr, figure3Cells(), 0, nil, "")
 }
 
 // figure4Cells is the §4.1.3 isolation experiment under RC: the window sweep
@@ -315,7 +335,7 @@ func figure4Cells() []cell {
 // Figure4 runs the §4.1.3 isolation experiment over one application trace,
 // fanning the independent replays across GOMAXPROCS workers.
 func Figure4(tr *trace.Trace) ([]Column, error) {
-	return runCells(tr, figure4Cells(), 0)
+	return runCells(tr, figure4Cells(), 0, nil, "")
 }
 
 // windowSweepCells is the DS window sweep under a model with BASE as the
@@ -335,7 +355,7 @@ func windowSweepCells(model consistency.Model, mutate func(*cpu.Config)) []cell 
 // WindowSweep runs the DS processor across the window sizes under a model,
 // fanning the independent replays across GOMAXPROCS workers.
 func WindowSweep(tr *trace.Trace, model consistency.Model, mutate func(*cpu.Config)) ([]Column, error) {
-	return runCells(tr, windowSweepCells(model, mutate), 0)
+	return runCells(tr, windowSweepCells(model, mutate), 0, nil, "")
 }
 
 // ReadHiddenSummary reproduces the concluding statistic of §7: the average

@@ -2,7 +2,10 @@ package exp
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"dynsched/internal/apps"
 	"dynsched/internal/consistency"
@@ -109,9 +112,103 @@ func TestRecordColumns(t *testing.T) {
 		if got := reg.Gauge(pre + "normalized_pct").Value(); got != c.Normalized {
 			t.Errorf("%snormalized_pct = %v, want %v", pre, got, c.Normalized)
 		}
+		if c.Instructions == 0 {
+			t.Errorf("%s: column has no instruction count", c.Label)
+			continue
+		}
+		if got := reg.Counter(pre + "instructions").Value(); got != c.Instructions {
+			t.Errorf("%sinstructions = %d, want %d", pre, got, c.Instructions)
+		}
+		wantMCPI := float64(c.Breakdown.Read+c.Breakdown.Write) / float64(c.Instructions)
+		if got := reg.Gauge(pre + "mcpi").Value(); got != wantMCPI {
+			t.Errorf("%smcpi = %v, want %v", pre, got, wantMCPI)
+		}
 	}
 	// A nil registry must be a no-op, not a panic.
 	RecordColumns(nil, "fig3", "lu", cols)
+}
+
+// TestJobBoardTracksHarnessWork runs a small figure through the harness with
+// a job board attached and checks that every unit of work — the trace
+// generations and the per-app replay cells — appears on the board and ends
+// in the done state (what the live /jobs endpoint serves).
+func TestJobBoardTracksHarnessWork(t *testing.T) {
+	board := obs.NewJobBoard()
+	appNames := []string{"lu", "mp3d"}
+	e := New(Options{
+		NumCPUs: 4, Scale: apps.ScaleSmall, TraceCPU: 1,
+		Apps: appNames, Workers: 4, Board: board,
+	})
+	acs, err := e.Figure3All()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := board.Status()
+	if st.Queued != 0 || st.Running != 0 || st.Failed != 0 {
+		t.Errorf("board not drained: %+v", st)
+	}
+	nCells := len(acs[0].Cols)
+	// One generation job per app plus the full apps × cells matrix.
+	if want := len(appNames) * (1 + nCells); st.Done != want {
+		t.Errorf("done jobs = %d, want %d", st.Done, want)
+	}
+	labels := make(map[string]bool, len(st.Jobs))
+	for _, j := range st.Jobs {
+		if j.State != obs.JobDone {
+			t.Errorf("job %q state = %s, want done", j.Label, j.State)
+		}
+		labels[j.Label] = true
+	}
+	for _, want := range []string{"gen lu", "gen mp3d", "lu BASE", "mp3d RC-DS64"} {
+		if !labels[want] {
+			t.Errorf("board has no job labelled %q; labels: %v", want, labels)
+		}
+	}
+}
+
+// TestProgressLanesPerApp checks that concurrent trace generations publish
+// through per-app lanes, not a single clobbered label.
+func TestProgressLanesPerApp(t *testing.T) {
+	var buf syncBuffer
+	pr := obs.NewProgress(&buf, time.Hour)
+	pr.Start()
+	e := New(Options{
+		NumCPUs: 4, Scale: apps.ScaleSmall, TraceCPU: 1,
+		Apps: []string{"lu", "mp3d"}, Workers: 2, Progress: pr,
+	})
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	pr.Stop()
+	out := buf.String()
+	for _, want := range []string{"[lu] done", "[mp3d] done"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+	st := pr.Status()
+	if st.Instrs == 0 || st.Cycles == 0 {
+		t.Errorf("lanes did not fold into the aggregate: %+v", st)
+	}
+}
+
+// syncBuffer is a strings.Builder safe for the ticker goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }
 
 // TestPipeTracerCoversReplay checks that a DS replay records one pipeline

@@ -157,7 +157,7 @@ func (e *Experiment) AblationStoreBuffer(app string) ([]Column, error) {
 			mutate: func(c *cpu.Config) { c.StoreBufDepth = depth },
 		})
 	}
-	return runCells(run.Trace, cells, e.opts.Workers)
+	return runCells(run.Trace, cells, e.opts.Workers, e.opts.Board, app+" ")
 }
 
 // AblationMSHR sweeps the number of outstanding misses allowed.
@@ -178,7 +178,7 @@ func (e *Experiment) AblationMSHR(app string) ([]Column, error) {
 			mutate: func(c *cpu.Config) { c.MSHRs = n },
 		})
 	}
-	return runCells(run.Trace, cells, e.opts.Workers)
+	return runCells(run.Trace, cells, e.opts.Workers, e.opts.Board, app+" ")
 }
 
 // MachineRow is one machine size of the processor-count sweep.
@@ -548,5 +548,5 @@ func (e *Experiment) AblationBTB(app string, mkBTB func(entries int) trace.Predi
 			mutate: func(c *cpu.Config) { c.Predictor = mkBTB(entries) },
 		})
 	}
-	return runCells(run.Trace, cells, e.opts.Workers)
+	return runCells(run.Trace, cells, e.opts.Workers, e.opts.Board, app+" ")
 }

@@ -16,6 +16,7 @@ import (
 
 	"dynsched/internal/consistency"
 	"dynsched/internal/cpu"
+	"dynsched/internal/obs"
 	"dynsched/internal/trace"
 )
 
@@ -93,16 +94,24 @@ func (c cell) run(tr *trace.Trace) (Column, error) {
 	}
 	return Column{
 		Label: c.label, Model: c.model, Arch: c.arch, Window: c.window,
-		Breakdown: res.Breakdown,
+		Breakdown: res.Breakdown, Instructions: res.Instructions,
 	}, nil
 }
 
 // runCells replays every cell over tr, fanning the independent replays
-// across workers, and returns the columns in cell order, normalized.
-func runCells(tr *trace.Trace, cells []cell, workers int) ([]Column, error) {
+// across workers, and returns the columns in cell order, normalized. Every
+// cell is enqueued on board (nil-safe) under labelPrefix before the fan-out
+// starts, so the live /jobs endpoint shows the whole queue up front.
+func runCells(tr *trace.Trace, cells []cell, workers int, board *obs.JobBoard, labelPrefix string) ([]Column, error) {
+	jobs := make([]int, len(cells))
+	for i := range cells {
+		jobs[i] = board.Enqueue(labelPrefix + cells[i].label)
+	}
 	cols := make([]Column, len(cells))
 	err := runJobs(len(cells), workers, func(i int) error {
+		board.Start(jobs[i])
 		c, err := cells[i].run(tr)
+		board.Finish(jobs[i], err)
 		if err != nil {
 			return err
 		}
@@ -132,9 +141,15 @@ func (e *Experiment) perAppCells(cells []cell) ([]AppColumns, error) {
 		cols[i] = make([]Column, len(cells))
 	}
 	nc := len(cells)
+	jobs := make([]int, len(apps)*nc)
+	for k := range jobs {
+		jobs[k] = e.opts.Board.Enqueue(apps[k/nc] + " " + cells[k%nc].label)
+	}
 	err = runJobs(len(apps)*nc, e.opts.Workers, func(k int) error {
 		a, c := k/nc, k%nc
+		e.opts.Board.Start(jobs[k])
 		col, err := cells[c].run(runs[a].Trace)
+		e.opts.Board.Finish(jobs[k], err)
 		if err != nil {
 			return err
 		}
@@ -160,7 +175,14 @@ func (e *Experiment) perAppJobs(fn func(i int, run *AppRun) error) error {
 	if err != nil {
 		return err
 	}
+	jobs := make([]int, len(apps))
+	for i, app := range apps {
+		jobs[i] = e.opts.Board.Enqueue(app)
+	}
 	return runJobs(len(apps), e.opts.Workers, func(i int) error {
-		return fn(i, runs[i])
+		e.opts.Board.Start(jobs[i])
+		err := fn(i, runs[i])
+		e.opts.Board.Finish(jobs[i], err)
+		return err
 	})
 }

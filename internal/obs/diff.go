@@ -1,0 +1,250 @@
+package obs
+
+// Cross-run regression diffing: compare the tracked metrics of two runs —
+// ledger records, -metrics-out snapshots, or any flat JSON of numbers (the
+// committed BENCH_*.json trajectories) — and report per-metric deltas
+// against a configurable relative threshold. All tracked metrics are cost
+// metrics (cycles, stall breakdowns, MCPI), so an increase beyond the
+// threshold is a regression and a decrease an improvement; `hidelat diff`
+// exits non-zero when any regression is found, which is what lets CI gate
+// on the run-over-run trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// DiffOptions configures a comparison.
+type DiffOptions struct {
+	// Threshold is the relative change (0.05 = 5%) beyond which a metric
+	// counts as regressed (increase) or improved (decrease). Zero means any
+	// change at all is flagged — the right setting for a deterministic
+	// simulator compared at identical configuration.
+	Threshold float64
+}
+
+// Delta is one tracked metric's change between two runs.
+type Delta struct {
+	Name string  `json:"name"`
+	Old  float64 `json:"old"`
+	New  float64 `json:"new"`
+	// Rel is the relative change, (new-old)/old; +Inf when old == 0.
+	Rel        float64 `json:"rel"`
+	Regression bool    `json:"regression"`
+}
+
+// DiffReport is the outcome of comparing two runs.
+type DiffReport struct {
+	Threshold    float64  `json:"threshold"`
+	Compared     int      `json:"compared"`  // metrics present on both sides
+	Unchanged    int      `json:"unchanged"` // within threshold
+	Deltas       []Delta  `json:"deltas"`    // beyond threshold, worst first
+	Regressions  int      `json:"regressions"`
+	Improvements int      `json:"improvements"`
+	OnlyOld      []string `json:"only_old,omitempty"` // tracked in old, missing in new
+	OnlyNew      []string `json:"only_new,omitempty"`
+	OldFNV       string   `json:"old_fnv,omitempty"` // ledger checksums, when available
+	NewFNV       string   `json:"new_fnv,omitempty"`
+}
+
+// DiffMetrics compares two flat metric maps. Metrics present on only one
+// side are listed but never count as regressions (a renamed or newly added
+// metric is drift to investigate, not a perf gate failure).
+func DiffMetrics(oldM, newM map[string]float64, opt DiffOptions) DiffReport {
+	rep := DiffReport{Threshold: opt.Threshold}
+	for _, name := range sortedKeys(oldM) {
+		ov := oldM[name]
+		nv, ok := newM[name]
+		if !ok {
+			rep.OnlyOld = append(rep.OnlyOld, name)
+			continue
+		}
+		rep.Compared++
+		var rel float64
+		switch {
+		case ov == nv:
+			rel = 0
+		case ov == 0:
+			rel = math.Inf(1)
+			if nv < 0 {
+				rel = math.Inf(-1)
+			}
+		default:
+			rel = (nv - ov) / math.Abs(ov)
+		}
+		if math.Abs(rel) <= opt.Threshold {
+			rep.Unchanged++
+			continue
+		}
+		d := Delta{Name: name, Old: ov, New: nv, Rel: rel, Regression: rel > 0}
+		if d.Regression {
+			rep.Regressions++
+		} else {
+			rep.Improvements++
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for _, name := range sortedKeys(newM) {
+		if _, ok := oldM[name]; !ok {
+			rep.OnlyNew = append(rep.OnlyNew, name)
+		}
+	}
+	sort.SliceStable(rep.Deltas, func(i, j int) bool {
+		ri, rj := rep.Deltas[i], rep.Deltas[j]
+		if ri.Regression != rj.Regression {
+			return ri.Regression
+		}
+		return math.Abs(ri.Rel) > math.Abs(rj.Rel)
+	})
+	return rep
+}
+
+// Format renders the report for the terminal.
+func (r DiffReport) Format() string {
+	var b strings.Builder
+	for _, d := range r.Deltas {
+		verdict := "improved  "
+		if d.Regression {
+			verdict = "REGRESSION"
+		}
+		rel := fmt.Sprintf("%+.2f%%", 100*d.Rel)
+		if math.IsInf(d.Rel, 0) {
+			rel = "new-nonzero"
+		}
+		fmt.Fprintf(&b, "%s  %-52s %14.6g -> %-14.6g %s\n", verdict, d.Name, d.Old, d.New, rel)
+	}
+	if len(r.OnlyOld) > 0 {
+		fmt.Fprintf(&b, "only in old run (%d): %s\n", len(r.OnlyOld), summarizeNames(r.OnlyOld))
+	}
+	if len(r.OnlyNew) > 0 {
+		fmt.Fprintf(&b, "only in new run (%d): %s\n", len(r.OnlyNew), summarizeNames(r.OnlyNew))
+	}
+	if r.OldFNV != "" && r.NewFNV != "" {
+		if r.OldFNV == r.NewFNV {
+			fmt.Fprintf(&b, "metrics checksum: unchanged (%s)\n", r.OldFNV)
+		} else {
+			fmt.Fprintf(&b, "metrics checksum: %s -> %s (determinism drift or changed configuration)\n",
+				r.OldFNV, r.NewFNV)
+		}
+	}
+	fmt.Fprintf(&b, "compared %d tracked metrics at ±%.1f%%: %d regressed, %d improved, %d unchanged\n",
+		r.Compared, 100*r.Threshold, r.Regressions, r.Improvements, r.Unchanged)
+	return b.String()
+}
+
+func summarizeNames(names []string) string {
+	const max = 8
+	if len(names) <= max {
+		return strings.Join(names, ", ")
+	}
+	return strings.Join(names[:max], ", ") + ", ..."
+}
+
+// LedgerMetrics flattens a ledger record's tracked outcomes into a metric
+// map: per-app generation cycles and per-cell replay cycles, instruction
+// counts, and MCPI. Wall times and allocator statistics are deliberately
+// absent — they vary with the machine, not the simulation.
+func LedgerMetrics(rec LedgerRecord) map[string]float64 {
+	m := make(map[string]float64)
+	for app, a := range rec.Apps {
+		m["app."+app+".cycles"] = float64(a.Cycles)
+	}
+	for key, c := range rec.Cells {
+		m["cell."+key+".cycles"] = float64(c.Cycles)
+		if c.Instructions > 0 {
+			m["cell."+key+".instructions"] = float64(c.Instructions)
+			m["cell."+key+".mcpi"] = c.MCPI
+		}
+	}
+	return m
+}
+
+// SnapshotMetrics flattens a metrics snapshot into a metric map: every
+// counter, every deterministic gauge, and each histogram's total and mean.
+func SnapshotMetrics(s Snapshot) map[string]float64 {
+	m := make(map[string]float64)
+	for name, v := range s.Counters {
+		m[name] = float64(v)
+	}
+	for name, v := range s.Gauges {
+		if deterministicGauge(name) {
+			m[name] = v
+		}
+	}
+	for name, h := range s.Histograms {
+		m[name+".total"] = float64(h.Total)
+		m[name+".mean"] = h.Mean
+	}
+	return m
+}
+
+// LoadMetricsFile reads the tracked metrics of a run artifact, sniffing the
+// format: a JSON-Lines run ledger (the last record wins), a single ledger
+// record, a -metrics-out snapshot, or any other JSON object (numeric leaves
+// are flattened under dotted keys — this covers the BENCH_*.json
+// trajectories). Returns the metrics, a human-readable format name, and the
+// record's determinism checksum when it has one.
+func LoadMetricsFile(path string) (metrics map[string]float64, kind, fnvSum string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", "", err
+	}
+	var obj map[string]json.RawMessage
+	if json.Unmarshal(data, &obj) == nil {
+		switch {
+		case obj["counters"] != nil || obj["histograms"] != nil:
+			var s Snapshot
+			if err := json.Unmarshal(data, &s); err != nil {
+				return nil, "", "", fmt.Errorf("obs: %s: %w", path, err)
+			}
+			return SnapshotMetrics(s), "metrics snapshot", SnapshotFNV(s), nil
+		case obj["metrics_fnv"] != nil:
+			var rec LedgerRecord
+			if err := json.Unmarshal(data, &rec); err != nil {
+				return nil, "", "", fmt.Errorf("obs: %s: %w", path, err)
+			}
+			return LedgerMetrics(rec), "ledger record", rec.MetricsFNV, nil
+		default:
+			var generic map[string]any
+			if err := json.Unmarshal(data, &generic); err != nil {
+				return nil, "", "", fmt.Errorf("obs: %s: %w", path, err)
+			}
+			m := make(map[string]float64)
+			flattenNumbers("", generic, m)
+			return m, "generic JSON", "", nil
+		}
+	}
+	// Not a single JSON value: must be a JSON-Lines ledger.
+	recs, err := ReadLedger(path)
+	if err != nil {
+		return nil, "", "", err
+	}
+	last := recs[len(recs)-1]
+	return LedgerMetrics(last), fmt.Sprintf("ledger (%d records, comparing %s)", len(recs), last.ID),
+		last.MetricsFNV, nil
+}
+
+// flattenNumbers walks a decoded JSON value and collects numeric leaves
+// under dot-joined keys.
+func flattenNumbers(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flattenNumbers(key, child, out)
+		}
+	case []any:
+		for i, child := range x {
+			flattenNumbers(fmt.Sprintf("%s.%d", prefix, i), child, out)
+		}
+	case float64:
+		out[prefix] = x
+	}
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDiffMetricsThreshold(t *testing.T) {
+	oldM := map[string]float64{
+		"a": 100, // +10% → regression at 5%
+		"b": 100, // -10% → improvement
+		"c": 100, // +4% → unchanged at 5%
+		"d": 0,   // 0 → 5: new-nonzero regression
+		"e": 100, // only in old
+	}
+	newM := map[string]float64{
+		"a": 110,
+		"b": 90,
+		"c": 104,
+		"d": 5,
+		"f": 1, // only in new
+	}
+	rep := DiffMetrics(oldM, newM, DiffOptions{Threshold: 0.05})
+	if rep.Compared != 4 || rep.Unchanged != 1 {
+		t.Errorf("compared/unchanged = %d/%d, want 4/1", rep.Compared, rep.Unchanged)
+	}
+	if rep.Regressions != 2 || rep.Improvements != 1 {
+		t.Errorf("regressions/improvements = %d/%d, want 2/1", rep.Regressions, rep.Improvements)
+	}
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "e" || len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "f" {
+		t.Errorf("one-sided = %v / %v", rep.OnlyOld, rep.OnlyNew)
+	}
+	// Deltas sort regressions first, worst first; d's +Inf beats a's +10%.
+	if len(rep.Deltas) != 3 || rep.Deltas[0].Name != "d" || rep.Deltas[1].Name != "a" || rep.Deltas[2].Name != "b" {
+		t.Fatalf("delta order = %+v", rep.Deltas)
+	}
+	if !math.IsInf(rep.Deltas[0].Rel, 1) {
+		t.Errorf("zero-old rel = %v, want +Inf", rep.Deltas[0].Rel)
+	}
+	if rep.Deltas[2].Regression {
+		t.Error("improvement flagged as regression")
+	}
+
+	// Threshold zero: any change at all is flagged.
+	rep0 := DiffMetrics(map[string]float64{"x": 100}, map[string]float64{"x": 100.0001}, DiffOptions{})
+	if rep0.Regressions != 1 {
+		t.Errorf("zero-threshold regressions = %d, want 1", rep0.Regressions)
+	}
+	// Exact equality is unchanged even at zero threshold.
+	repEq := DiffMetrics(map[string]float64{"x": 100}, map[string]float64{"x": 100}, DiffOptions{})
+	if repEq.Unchanged != 1 || repEq.Regressions != 0 {
+		t.Errorf("equal metrics: %+v", repEq)
+	}
+}
+
+func TestDiffReportFormat(t *testing.T) {
+	rep := DiffMetrics(
+		map[string]float64{"cell.fig3.lu.BASE.cycles": 100, "gone": 1},
+		map[string]float64{"cell.fig3.lu.BASE.cycles": 120, "added": 2},
+		DiffOptions{Threshold: 0.05})
+	rep.OldFNV, rep.NewFNV = "aaaa", "bbbb"
+	text := rep.Format()
+	for _, want := range []string{
+		"REGRESSION", "cell.fig3.lu.BASE.cycles", "+20.00%",
+		"only in old run (1): gone", "only in new run (1): added",
+		"determinism drift", "1 regressed",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format() missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLedgerMetricsExcludesMachineDependent(t *testing.T) {
+	rec := LedgerRecord{
+		WallSeconds: 12.5,
+		Mem:         LedgerMem{TotalAllocBytes: 1 << 30},
+		Apps:        map[string]LedgerApp{"lu": {Cycles: 1000, WallSeconds: 3}},
+		Cells: map[string]LedgerCell{
+			"fig3.lu.BASE": {Cycles: 500, Instructions: 100, MCPI: 2},
+		},
+	}
+	m := LedgerMetrics(rec)
+	want := map[string]float64{
+		"app.lu.cycles":                  1000,
+		"cell.fig3.lu.BASE.cycles":       500,
+		"cell.fig3.lu.BASE.instructions": 100,
+		"cell.fig3.lu.BASE.mcpi":         2,
+	}
+	if len(m) != len(want) {
+		t.Errorf("metrics = %v, want exactly %v", m, want)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %v, want %v", k, m[k], v)
+		}
+	}
+}
+
+func TestSnapshotMetricsFiltersGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Set(1)
+	r.Gauge("g.normalized_pct").Set(50)
+	r.Gauge("g.wall_seconds").Set(9)
+	r.Gauge("g.instrs_per_sec").Set(9)
+	r.Histogram("h", 1).Observe(4)
+	m := SnapshotMetrics(r.Snapshot())
+	if m["c"] != 1 || m["g.normalized_pct"] != 50 {
+		t.Errorf("metrics = %v", m)
+	}
+	if _, ok := m["g.wall_seconds"]; ok {
+		t.Error("wall_seconds gauge leaked into diff metrics")
+	}
+	if _, ok := m["g.instrs_per_sec"]; ok {
+		t.Error("throughput gauge leaked into diff metrics")
+	}
+	if m["h.total"] != 1 || m["h.mean"] != 4 {
+		t.Errorf("histogram metrics = %v", m)
+	}
+}
+
+func TestLoadMetricsFileSniffing(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// -metrics-out snapshot.
+	r := NewRegistry()
+	r.Counter("fig.fig3.lu.BASE.cycles.total").Set(500)
+	snapJSON, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, kind, sum, err := LoadMetricsFile(write("snap.json", snapJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "metrics snapshot" || sum == "" || m["fig.fig3.lu.BASE.cycles.total"] != 500 {
+		t.Errorf("snapshot load: kind=%q sum=%q m=%v", kind, sum, m)
+	}
+
+	// Single ledger record.
+	rec := BuildLedgerRecord("1", "fig3", nil, nil, time.Now(), r.Snapshot())
+	recJSON, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, kind, sum, err = LoadMetricsFile(write("rec.json", recJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "ledger record" || sum != rec.MetricsFNV || m["cell.fig3.lu.BASE.cycles"] != 500 {
+		t.Errorf("record load: kind=%q sum=%q m=%v", kind, sum, m)
+	}
+
+	// JSON-Lines ledger: the newest record wins.
+	old := rec
+	old.Time = "2026-01-01T00:00:00Z"
+	oldJSON, _ := json.Marshal(old)
+	ledger := write("runs.jsonl", []byte(string(oldJSON)+"\n"+string(recJSON)+"\n"))
+	m, kind, _, err = LoadMetricsFile(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(kind, "ledger (2 records") || m["cell.fig3.lu.BASE.cycles"] != 500 {
+		t.Errorf("jsonl load: kind=%q m=%v", kind, m)
+	}
+
+	// Generic JSON with numeric leaves (the BENCH_*.json shape).
+	bench := []byte(`{"fig3": {"ns_per_op": 120.5, "runs": [1, 2]}, "note": "text"}`)
+	m, kind, sum, err = LoadMetricsFile(write("bench.json", bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "generic JSON" || sum != "" {
+		t.Errorf("generic load: kind=%q sum=%q", kind, sum)
+	}
+	if m["fig3.ns_per_op"] != 120.5 || m["fig3.runs.0"] != 1 || m["fig3.runs.1"] != 2 {
+		t.Errorf("generic metrics = %v", m)
+	}
+	if _, ok := m["note"]; ok {
+		t.Error("non-numeric leaf collected")
+	}
+
+	if _, _, _, err := LoadMetricsFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file did not error")
+	}
+	if _, _, _, err := LoadMetricsFile(write("garbage.txt", []byte("not json at all"))); err == nil {
+		t.Error("garbage file did not error")
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+// JobBoard is the live board of the experiment scheduler's jobs: every
+// replay cell and trace generation the scheduler fans out is enqueued here,
+// moved to running when a worker picks it up, and finished with its outcome.
+// The live server's /jobs endpoint serializes the board, turning a
+// multi-hour sweep from a black box into a watchable queue.
+//
+// A nil *JobBoard is a no-op (Enqueue returns an invalid id that the other
+// methods ignore), so the scheduler publishes unconditionally.
+
+import (
+	"sync"
+	"time"
+)
+
+// Job states, as reported by JobStatus.State.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+type boardJob struct {
+	label    string
+	state    string
+	queued   time.Time
+	started  time.Time
+	finished time.Time
+	err      string
+}
+
+// JobBoard tracks the lifecycle of scheduler jobs. Safe for concurrent use.
+type JobBoard struct {
+	mu   sync.Mutex
+	jobs []boardJob
+}
+
+// NewJobBoard creates an empty board.
+func NewJobBoard() *JobBoard { return &JobBoard{} }
+
+// Enqueue registers a job in the queued state and returns its id. On a nil
+// board it returns -1, which Start and Finish ignore.
+func (b *JobBoard) Enqueue(label string) int {
+	if b == nil {
+		return -1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.jobs = append(b.jobs, boardJob{label: label, state: JobQueued, queued: time.Now()})
+	return len(b.jobs) - 1
+}
+
+// Start marks the job as running. Safe on a nil board and an invalid id.
+func (b *JobBoard) Start(id int) {
+	if b == nil || id < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if id < len(b.jobs) {
+		b.jobs[id].state = JobRunning
+		b.jobs[id].started = time.Now()
+	}
+}
+
+// Finish marks the job as done, or failed when err is non-nil. Safe on a nil
+// board and an invalid id.
+func (b *JobBoard) Finish(id int, err error) {
+	if b == nil || id < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if id >= len(b.jobs) {
+		return
+	}
+	j := &b.jobs[id]
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	if err != nil {
+		j.state = JobFailed
+		j.err = err.Error()
+	} else {
+		j.state = JobDone
+	}
+}
+
+// JobStatus is one job's externally visible state.
+type JobStatus struct {
+	ID          int     `json:"id"`
+	Label       string  `json:"label"`
+	State       string  `json:"state"`
+	WallSeconds float64 `json:"wall_seconds"` // run time so far (running) or total (finished)
+	Err         string  `json:"error,omitempty"`
+}
+
+// BoardStatus is a point-in-time view of the whole board, served as JSON by
+// the live server's /jobs endpoint.
+type BoardStatus struct {
+	Queued  int         `json:"queued"`
+	Running int         `json:"running"`
+	Done    int         `json:"done"`
+	Failed  int         `json:"failed"`
+	Jobs    []JobStatus `json:"jobs"`
+}
+
+// Status snapshots every job on the board in enqueue order. Safe on a nil
+// board (returns an empty status).
+func (b *JobBoard) Status() BoardStatus {
+	st := BoardStatus{Jobs: []JobStatus{}}
+	if b == nil {
+		return st
+	}
+	now := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.jobs {
+		j := &b.jobs[i]
+		js := JobStatus{ID: i, Label: j.label, State: j.state, Err: j.err}
+		switch j.state {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+			js.WallSeconds = now.Sub(j.started).Seconds()
+		case JobDone:
+			st.Done++
+			js.WallSeconds = j.finished.Sub(j.started).Seconds()
+		case JobFailed:
+			st.Failed++
+			js.WallSeconds = j.finished.Sub(j.started).Seconds()
+		}
+		st.Jobs = append(st.Jobs, js)
+	}
+	return st
+}

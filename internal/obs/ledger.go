@@ -1,0 +1,248 @@
+package obs
+
+// The run ledger: every command-line invocation appends one structured
+// JSON-Lines record capturing what ran (command, options, version), what it
+// cost (wall time, allocator statistics), and what it produced (per-app
+// trace-generation cycles, per-cell replay cycles and MCPI, and an FNV-1a
+// checksum of the deterministic slice of the metrics snapshot). A ledger is
+// the longitudinal half of the observability layer: `hidelat diff` compares
+// two records and flags regressions, and the checksum makes determinism
+// drift across commits detectable without storing full snapshots.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// LedgerSchema is the current record schema version.
+const LedgerSchema = 1
+
+// LedgerMem captures allocator statistics from runtime.MemStats.
+type LedgerMem struct {
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"` // cumulative bytes allocated
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`  // live heap at record time
+	SysBytes        uint64 `json:"sys_bytes"`         // peak memory obtained from the OS
+	Mallocs         uint64 `json:"mallocs"`
+	NumGC           uint32 `json:"num_gc"`
+}
+
+// LedgerApp is one application's trace-generation outcome.
+type LedgerApp struct {
+	Cycles      uint64  `json:"cycles"` // simulated machine cycles to run the app
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+// LedgerCell is one replay cell's outcome (one bar of a figure or sweep:
+// app × architecture × consistency model × window).
+type LedgerCell struct {
+	Cycles       uint64  `json:"cycles"`
+	Instructions uint64  `json:"instructions,omitempty"`
+	MCPI         float64 `json:"mcpi,omitempty"` // memory stall cycles (read+write) per instruction
+}
+
+// LedgerRecord is one run of a command-line tool.
+type LedgerRecord struct {
+	Schema      int                   `json:"schema"`
+	ID          string                `json:"id"`
+	Time        string                `json:"time"` // RFC 3339
+	Version     string                `json:"version"`
+	GoVersion   string                `json:"go_version"`
+	Cmd         string                `json:"cmd"` // experiment / subcommand name
+	Args        []string              `json:"args,omitempty"`
+	Options     map[string]any        `json:"options,omitempty"`
+	WallSeconds float64               `json:"wall_seconds"`
+	Mem         LedgerMem             `json:"mem"`
+	Apps        map[string]LedgerApp  `json:"apps,omitempty"`
+	Cells       map[string]LedgerCell `json:"cells,omitempty"`
+	MetricsFNV  string                `json:"metrics_fnv"`
+}
+
+// NewRunID derives a human-sortable, collision-resistant run id from the
+// start time and process id, e.g. "20260806T121314-5f2a91c3".
+func NewRunID(now time.Time) string {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%d|%d|%s", now.UnixNano(), os.Getpid(), hostname())
+	return fmt.Sprintf("%s-%08x", now.UTC().Format("20060102T150405"), h.Sum32())
+}
+
+func hostname() string {
+	hn, err := os.Hostname()
+	if err != nil {
+		return "unknown"
+	}
+	return hn
+}
+
+// deterministicGauge reports whether a gauge's value is a pure function of
+// the simulation (and so belongs in the determinism checksum). Wall-clock
+// and throughput gauges vary run to run and are excluded.
+func deterministicGauge(name string) bool {
+	return !strings.HasSuffix(name, "wall_seconds") && !strings.HasSuffix(name, "_per_sec")
+}
+
+// SnapshotFNV hashes the deterministic slice of a metrics snapshot — every
+// counter and histogram, plus gauges whose value is simulation-determined —
+// with FNV-1a 64. Two runs of the same build over the same inputs produce
+// the same checksum; a difference flags determinism drift.
+func SnapshotFNV(s Snapshot) string {
+	h := fnv.New64a()
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(h, "C|%s|%d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if deterministicGauge(name) {
+			fmt.Fprintf(h, "G|%s|%s\n", name, strconv.FormatFloat(s.Gauges[name], 'g', -1, 64))
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
+		fmt.Fprintf(h, "H|%s|%d|%d|%v\n", name, hs.Total, hs.Sum, hs.Counts)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// BuildLedgerRecord assembles a record from a finished run: command
+// identity, wall time, allocator statistics, and the per-app / per-cell
+// outcomes extracted from the metrics snapshot (the "exp.<app>." gauges and
+// "fig.<step>.<app>.<label>." counters the harness publishes).
+func BuildLedgerRecord(version, cmd string, args []string, options map[string]any,
+	start time.Time, snap Snapshot) LedgerRecord {
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rec := LedgerRecord{
+		Schema:      LedgerSchema,
+		ID:          NewRunID(start),
+		Time:        start.UTC().Format(time.RFC3339),
+		Version:     version,
+		GoVersion:   runtime.Version(),
+		Cmd:         cmd,
+		Args:        args,
+		Options:     options,
+		WallSeconds: time.Since(start).Seconds(),
+		Mem: LedgerMem{
+			TotalAllocBytes: ms.TotalAlloc,
+			HeapAllocBytes:  ms.HeapAlloc,
+			SysBytes:        ms.Sys,
+			Mallocs:         ms.Mallocs,
+			NumGC:           ms.NumGC,
+		},
+		Apps:       extractApps(snap),
+		Cells:      extractCells(snap),
+		MetricsFNV: SnapshotFNV(snap),
+	}
+	return rec
+}
+
+// extractApps pulls per-application trace-generation outcomes from the
+// "exp.<app>." metrics the harness publishes.
+func extractApps(s Snapshot) map[string]LedgerApp {
+	apps := make(map[string]LedgerApp)
+	for name, v := range s.Counters {
+		rest, ok := strings.CutPrefix(name, "exp.")
+		if !ok {
+			continue
+		}
+		app, ok := strings.CutSuffix(rest, ".cycles")
+		if !ok || strings.Contains(app, ".") {
+			continue
+		}
+		a := apps[app]
+		a.Cycles = v
+		a.WallSeconds = s.Gauges["exp."+app+".wall_seconds"]
+		apps[app] = a
+	}
+	if len(apps) == 0 {
+		return nil
+	}
+	return apps
+}
+
+// extractCells pulls per-replay-cell outcomes from the
+// "fig.<step>.<app>.<label>." counters published by RecordColumns: total
+// cycles, instructions, and MCPI (read + write stall cycles per
+// instruction).
+func extractCells(s Snapshot) map[string]LedgerCell {
+	cells := make(map[string]LedgerCell)
+	for name, v := range s.Counters {
+		rest, ok := strings.CutPrefix(name, "fig.")
+		if !ok {
+			continue
+		}
+		key, ok := strings.CutSuffix(rest, ".cycles.total")
+		if !ok {
+			continue
+		}
+		pre := "fig." + key + "."
+		c := LedgerCell{
+			Cycles:       v,
+			Instructions: s.Counters[pre+"instructions"],
+		}
+		if c.Instructions > 0 {
+			memStall := s.Counters[pre+"stall.read"] + s.Counters[pre+"stall.write"]
+			c.MCPI = float64(memStall) / float64(c.Instructions)
+		}
+		cells[key] = c
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+	return cells
+}
+
+// AppendLedger appends rec as one JSON line to the ledger at path, creating
+// the file if needed.
+func AppendLedger(path string, rec LedgerRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("obs: ledger: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: ledger: %w", err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: ledger: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadLedger parses every record of a JSON-Lines ledger, oldest first.
+func ReadLedger(path string) ([]LedgerRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: ledger: %w", err)
+	}
+	defer f.Close()
+	var recs []LedgerRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec LedgerRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("obs: ledger %s record %d: %w", path, len(recs)+1, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: ledger: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("obs: ledger %s holds no records", path)
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
+	return recs, nil
+}

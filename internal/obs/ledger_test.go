@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSnapshot() Snapshot {
+	r := NewRegistry()
+	r.Counter("exp.lu.cycles").Set(1000)
+	r.Gauge("exp.lu.wall_seconds").Set(0.5)
+	r.Gauge("exp.lu.cycles_per_sec").Set(2000)
+	r.Counter("fig.fig3.lu.BASE.cycles.total").Set(500)
+	r.Counter("fig.fig3.lu.BASE.instructions").Set(100)
+	r.Counter("fig.fig3.lu.BASE.stall.read").Set(120)
+	r.Counter("fig.fig3.lu.BASE.stall.write").Set(80)
+	r.Gauge("fig.fig3.lu.BASE.normalized_pct").Set(100)
+	return r.Snapshot()
+}
+
+func TestSnapshotFNVDeterminism(t *testing.T) {
+	s := testSnapshot()
+	sum1 := SnapshotFNV(s)
+	sum2 := SnapshotFNV(testSnapshot())
+	if sum1 != sum2 {
+		t.Fatalf("identical snapshots hash differently: %s vs %s", sum1, sum2)
+	}
+	if len(sum1) != 16 {
+		t.Errorf("checksum %q not 16 hex digits", sum1)
+	}
+
+	// Wall-clock and throughput gauges must not affect the checksum.
+	r := NewRegistry()
+	r.Counter("exp.lu.cycles").Set(1000)
+	r.Gauge("exp.lu.wall_seconds").Set(99.9)
+	r.Gauge("exp.lu.cycles_per_sec").Set(1)
+	r.Counter("fig.fig3.lu.BASE.cycles.total").Set(500)
+	r.Counter("fig.fig3.lu.BASE.instructions").Set(100)
+	r.Counter("fig.fig3.lu.BASE.stall.read").Set(120)
+	r.Counter("fig.fig3.lu.BASE.stall.write").Set(80)
+	r.Gauge("fig.fig3.lu.BASE.normalized_pct").Set(100)
+	if got := SnapshotFNV(r.Snapshot()); got != sum1 {
+		t.Errorf("wall-clock gauges changed the checksum: %s vs %s", got, sum1)
+	}
+
+	// A simulation counter change must change it.
+	r.Counter("fig.fig3.lu.BASE.cycles.total").Set(501)
+	if got := SnapshotFNV(r.Snapshot()); got == sum1 {
+		t.Error("counter change did not change the checksum")
+	}
+
+	// A deterministic gauge change must change it too.
+	r.Counter("fig.fig3.lu.BASE.cycles.total").Set(500)
+	r.Gauge("fig.fig3.lu.BASE.normalized_pct").Set(101)
+	if got := SnapshotFNV(r.Snapshot()); got == sum1 {
+		t.Error("deterministic gauge change did not change the checksum")
+	}
+}
+
+func TestBuildLedgerRecord(t *testing.T) {
+	start := time.Now().Add(-time.Second)
+	rec := BuildLedgerRecord("1.2.3", "fig3", []string{"-j", "2", "fig3"},
+		map[string]any{"scale": "small"}, start, testSnapshot())
+
+	if rec.Schema != LedgerSchema || rec.Version != "1.2.3" || rec.Cmd != "fig3" {
+		t.Errorf("identity fields = %+v", rec)
+	}
+	if rec.WallSeconds < 0.9 {
+		t.Errorf("wall seconds = %v, want >= ~1", rec.WallSeconds)
+	}
+	if rec.Mem.TotalAllocBytes == 0 || rec.Mem.Mallocs == 0 {
+		t.Errorf("allocator stats missing: %+v", rec.Mem)
+	}
+	if rec.MetricsFNV != SnapshotFNV(testSnapshot()) {
+		t.Errorf("checksum mismatch: %s", rec.MetricsFNV)
+	}
+
+	app, ok := rec.Apps["lu"]
+	if !ok {
+		t.Fatalf("apps = %v, want lu", rec.Apps)
+	}
+	if app.Cycles != 1000 || app.WallSeconds != 0.5 {
+		t.Errorf("app lu = %+v", app)
+	}
+
+	cell, ok := rec.Cells["fig3.lu.BASE"]
+	if !ok {
+		t.Fatalf("cells = %v, want fig3.lu.BASE", rec.Cells)
+	}
+	if cell.Cycles != 500 || cell.Instructions != 100 {
+		t.Errorf("cell = %+v", cell)
+	}
+	if want := 2.0; math.Abs(cell.MCPI-want) > 1e-12 { // (120+80)/100
+		t.Errorf("MCPI = %v, want %v", cell.MCPI, want)
+	}
+
+	// IDs derived from different instants must differ.
+	id2 := NewRunID(start.Add(time.Millisecond))
+	if rec.ID == id2 {
+		t.Errorf("run ids collide: %s", rec.ID)
+	}
+	if !strings.Contains(rec.ID, "-") {
+		t.Errorf("run id %q missing time-hash separator", rec.ID)
+	}
+}
+
+func TestLedgerAppendReadRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	t0 := time.Date(2026, 8, 6, 10, 0, 0, 0, time.UTC)
+	rec1 := BuildLedgerRecord("1", "fig3", nil, nil, t0, testSnapshot())
+	rec2 := BuildLedgerRecord("1", "fig4", nil, nil, t0.Add(time.Hour), testSnapshot())
+	// Append newest first: ReadLedger must sort by time anyway.
+	if err := AppendLedger(path, rec2); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendLedger(path, rec1); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records, want 2", len(recs))
+	}
+	if recs[0].Cmd != "fig3" || recs[1].Cmd != "fig4" {
+		t.Errorf("records out of time order: %s, %s", recs[0].Cmd, recs[1].Cmd)
+	}
+	if recs[0].Cells["fig3.lu.BASE"].Cycles != 500 {
+		t.Errorf("round-tripped cell = %+v", recs[0].Cells)
+	}
+
+	if _, err := ReadLedger(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("ReadLedger on a missing file did not error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := AppendLedger(empty, LedgerRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	if recs, err := ReadLedger(empty); err != nil || len(recs) != 1 {
+		t.Errorf("minimal record: recs=%d err=%v", len(recs), err)
+	}
+}
+
+func TestExtractIgnoresUnrelatedMetrics(t *testing.T) {
+	r := NewRegistry()
+	// Deeper "exp." names (not per-app cycles) and non-cell "fig." names must
+	// not create phantom apps or cells.
+	r.Counter("exp.lu.sub.cycles").Set(1)
+	r.Counter("fig.fig3.lu.BASE.stall.read").Set(1)
+	r.Counter("tango.lu.machine.cycles").Set(1)
+	rec := BuildLedgerRecord("1", "x", nil, nil, time.Now(), r.Snapshot())
+	if len(rec.Apps) != 0 {
+		t.Errorf("apps = %v, want none", rec.Apps)
+	}
+	if len(rec.Cells) != 0 {
+		t.Errorf("cells = %v, want none", rec.Cells)
+	}
+}

@@ -4,29 +4,55 @@ package obs
 // updated with atomic operations, which is correct under concurrency but
 // makes every hot-loop Observe a shared-cache-line round trip once several
 // simulator workers publish into the same registry. A batch accumulates a
-// worker's updates in plain (non-atomic) locals and merges them into the
-// shared metric once per run, so the registry is touched O(1) times per
-// replay instead of O(cycles).
+// worker's updates in worker-local storage and merges them into the shared
+// metric once per run, so the registry's shared cache lines are touched O(1)
+// times per replay instead of O(cycles).
+//
+// Batch storage is atomic — but worker-local, so the atomics stay
+// uncontended and cheap — which lets the registry's FlushBatches hook drain
+// a batch mid-run (for the live /metrics endpoint, or a -metrics-out written
+// on error) without racing the worker that owns it. Prefer the registry
+// constructors (Registry.HistogramBatch / Registry.CounterBatch): they
+// register the batch with the registry so every Snapshot sees its pending
+// samples; call Close when the run finishes to flush and unregister.
 //
 // Like everything else in this package, batches are nil-safe: the batch of a
 // nil metric is nil, and a nil batch's methods are no-ops, so instrumented
 // loops need no conditionals beyond the ones they already have.
 
+import "sync/atomic"
+
 // HistogramBatch is a worker-local accumulation buffer for one Histogram.
 type HistogramBatch struct {
-	h      *Histogram
-	counts []uint64
-	total  uint64
-	sum    uint64
+	h          *Histogram
+	counts     []atomic.Uint64
+	total      atomic.Uint64
+	sum        atomic.Uint64
+	unregister func()
 }
 
-// Batch returns a local accumulation buffer for h. Safe on a nil receiver
-// (returns a nil batch, whose methods are no-ops).
+// Batch returns a local accumulation buffer for h. The buffer is invisible
+// to Registry.Snapshot until Flush is called; prefer Registry.HistogramBatch,
+// which keeps snapshots exact. Safe on a nil receiver (returns a nil batch,
+// whose methods are no-ops).
 func (h *Histogram) Batch() *HistogramBatch {
 	if h == nil {
 		return nil
 	}
-	return &HistogramBatch{h: h, counts: make([]uint64, len(h.counts))}
+	return &HistogramBatch{h: h, counts: make([]atomic.Uint64, len(h.counts))}
+}
+
+// HistogramBatch returns a worker-local batch for the named histogram,
+// registered with the registry so FlushBatches (and therefore Snapshot and
+// every export path) drains its pending samples. Call Close on the batch
+// when the run completes. Returns nil (a usable no-op) on a nil registry.
+func (r *Registry) HistogramBatch(name string, bounds ...uint64) *HistogramBatch {
+	if r == nil {
+		return nil
+	}
+	b := r.Histogram(name, bounds...).Batch()
+	b.unregister = r.registerFlusher(b.Flush)
+	return b
 }
 
 // Observe records one sample locally without touching the shared histogram.
@@ -35,42 +61,59 @@ func (b *HistogramBatch) Observe(v uint64) {
 	if b == nil {
 		return
 	}
-	b.total++
-	b.sum += v
+	b.total.Add(1)
+	b.sum.Add(v)
 	for i, bound := range b.h.bounds {
 		if v <= bound {
-			b.counts[i]++
+			b.counts[i].Add(1)
 			return
 		}
 	}
-	b.counts[len(b.h.bounds)]++
+	b.counts[len(b.h.bounds)].Add(1)
 }
 
 // Flush merges the batched samples into the shared histogram and resets the
-// batch for reuse. Safe on a nil receiver.
+// batch for reuse. It is safe to call concurrently with Observe (samples
+// that land during the flush are simply merged by a later flush). Safe on a
+// nil receiver.
 func (b *HistogramBatch) Flush() {
-	if b == nil || b.total == 0 {
+	if b == nil || b.total.Load() == 0 {
 		return
 	}
-	for i, c := range b.counts {
-		if c != 0 {
+	for i := range b.counts {
+		if c := b.counts[i].Swap(0); c != 0 {
 			b.h.counts[i].Add(c)
-			b.counts[i] = 0
 		}
 	}
-	b.h.total.Add(b.total)
-	b.h.sum.Add(b.sum)
-	b.total, b.sum = 0, 0
+	b.h.total.Add(b.total.Swap(0))
+	b.h.sum.Add(b.sum.Swap(0))
+}
+
+// Close flushes any pending samples and unregisters the batch from its
+// registry. Safe on a nil receiver and on batches created with
+// Histogram.Batch (which have no registration).
+func (b *HistogramBatch) Close() {
+	if b == nil {
+		return
+	}
+	b.Flush()
+	if b.unregister != nil {
+		b.unregister()
+		b.unregister = nil
+	}
 }
 
 // CounterBatch is a worker-local accumulation buffer for one Counter.
 type CounterBatch struct {
-	c *Counter
-	n uint64
+	c          *Counter
+	n          atomic.Uint64
+	unregister func()
 }
 
-// Batch returns a local accumulation buffer for c. Safe on a nil receiver
-// (returns a nil batch, whose methods are no-ops).
+// Batch returns a local accumulation buffer for c. The buffer is invisible
+// to Registry.Snapshot until Flush is called; prefer Registry.CounterBatch,
+// which keeps snapshots exact. Safe on a nil receiver (returns a nil batch,
+// whose methods are no-ops).
 func (c *Counter) Batch() *CounterBatch {
 	if c == nil {
 		return nil
@@ -78,23 +121,52 @@ func (c *Counter) Batch() *CounterBatch {
 	return &CounterBatch{c: c}
 }
 
+// CounterBatch returns a worker-local batch for the named counter,
+// registered with the registry so FlushBatches (and therefore Snapshot and
+// every export path) drains its pending count. Call Close on the batch when
+// the run completes. Returns nil (a usable no-op) on a nil registry.
+func (r *Registry) CounterBatch(name string) *CounterBatch {
+	if r == nil {
+		return nil
+	}
+	b := r.Counter(name).Batch()
+	b.unregister = r.registerFlusher(b.Flush)
+	return b
+}
+
 // Add increments the batch locally. Safe on a nil receiver.
 func (b *CounterBatch) Add(n uint64) {
 	if b == nil {
 		return
 	}
-	b.n += n
+	b.n.Add(n)
 }
 
 // Inc increments the batch by one. Safe on a nil receiver.
 func (b *CounterBatch) Inc() { b.Add(1) }
 
 // Flush merges the batched count into the shared counter and resets the
-// batch for reuse. Safe on a nil receiver.
+// batch for reuse. Safe to call concurrently with Add, and on a nil
+// receiver.
 func (b *CounterBatch) Flush() {
-	if b == nil || b.n == 0 {
+	if b == nil {
 		return
 	}
-	b.c.Add(b.n)
-	b.n = 0
+	if n := b.n.Swap(0); n != 0 {
+		b.c.Add(n)
+	}
+}
+
+// Close flushes any pending count and unregisters the batch from its
+// registry. Safe on a nil receiver and on batches created with
+// Counter.Batch.
+func (b *CounterBatch) Close() {
+	if b == nil {
+		return
+	}
+	b.Flush()
+	if b.unregister != nil {
+		b.unregister()
+		b.unregister = nil
+	}
 }

@@ -154,6 +154,13 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+
+	// Pending-batch flushers (see local.go), keyed by registration id so
+	// batches can unregister when their run completes. Guarded by flushMu,
+	// not mu: flushers touch metrics, which must not happen under mu.
+	flushMu  sync.Mutex
+	flushers map[uint64]func()
+	flushSeq uint64
 }
 
 // NewRegistry creates an empty metrics registry.
@@ -221,8 +228,45 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot copies the current value of every registered metric. Safe on a
-// nil registry (returns an empty snapshot).
+// registerFlusher adds a pending-batch flusher to the registry and returns
+// a function that removes it again. Flushers run on every FlushBatches call
+// — that is, ahead of every Snapshot — so worker-local batch data is never
+// missing from an export.
+func (r *Registry) registerFlusher(f func()) (unregister func()) {
+	r.flushMu.Lock()
+	defer r.flushMu.Unlock()
+	if r.flushers == nil {
+		r.flushers = make(map[uint64]func())
+	}
+	id := r.flushSeq
+	r.flushSeq++
+	r.flushers[id] = f
+	return func() {
+		r.flushMu.Lock()
+		delete(r.flushers, id)
+		r.flushMu.Unlock()
+	}
+}
+
+// FlushBatches drains every registered worker-local batch (see
+// Registry.HistogramBatch / Registry.CounterBatch) into its shared metric.
+// Snapshot calls it automatically, so every export path — WriteJSON,
+// WriteMetricsFile, the live /metrics endpoints — sees batched samples even
+// mid-run. Safe on a nil registry.
+func (r *Registry) FlushBatches() {
+	if r == nil {
+		return
+	}
+	r.flushMu.Lock()
+	defer r.flushMu.Unlock()
+	for _, f := range r.flushers {
+		f()
+	}
+}
+
+// Snapshot copies the current value of every registered metric, after
+// draining any pending worker-local batches. Safe on a nil registry
+// (returns an empty snapshot).
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   make(map[string]uint64),
@@ -232,6 +276,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	r.FlushBatches()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for name, c := range r.counters {

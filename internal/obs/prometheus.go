@@ -1,0 +1,110 @@
+package obs
+
+// Prometheus text exposition rendering for the live server's /metrics
+// endpoint. The registry's hierarchical dot-separated names are flattened
+// into the Prometheus name grammar ([a-zA-Z_:][a-zA-Z0-9_:]*) under a
+// "dynsched_" namespace; histograms become the conventional cumulative
+// _bucket/_sum/_count triple. Rendering is deterministic: metrics are
+// emitted in sorted original-name order and name collisions introduced by
+// sanitization are disambiguated with a numeric suffix, so the exposition
+// never contains duplicate metric names.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// promNamespace prefixes every exported metric name.
+const promNamespace = "dynsched_"
+
+// promSanitize maps one registry metric name into the Prometheus name
+// grammar: legal characters pass through, everything else ('.', '-', ...)
+// becomes '_'.
+func promSanitize(name string) string {
+	out := make([]byte, 0, len(name)+len(promNamespace))
+	out = append(out, promNamespace...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// promNamer hands out sanitized names, disambiguating collisions (two
+// registry names that sanitize identically) deterministically.
+type promNamer struct{ seen map[string]int }
+
+func newPromNamer() *promNamer { return &promNamer{seen: make(map[string]int)} }
+
+func (n *promNamer) name(raw string) string {
+	s := promSanitize(raw)
+	n.seen[s]++
+	if c := n.seen[s]; c > 1 {
+		s = fmt.Sprintf("%s_dup%d", s, c-1)
+		n.seen[s]++
+	}
+	return s
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4).
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	namer := newPromNamer()
+
+	counters := sortedKeys(s.Counters)
+	for _, raw := range counters {
+		name := namer.name(raw)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[raw]); err != nil {
+			return err
+		}
+	}
+	gauges := sortedKeys(s.Gauges)
+	for _, raw := range gauges {
+		name := namer.name(raw)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(s.Gauges[raw])); err != nil {
+			return err
+		}
+	}
+	hists := sortedKeys(s.Histograms)
+	for _, raw := range hists {
+		name := namer.name(raw)
+		h := s.Histograms[raw]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Total); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

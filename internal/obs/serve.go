@@ -1,0 +1,132 @@
+package obs
+
+// The live run server: an opt-in, stdlib-only HTTP server that makes a
+// running sweep observable while it executes. It exposes
+//
+//	/            a plain-text index of the endpoints
+//	/metrics     the registry snapshot in Prometheus text exposition format
+//	/metrics.json  the registry snapshot as JSON (same shape as -metrics-out)
+//	/jobs        the experiment scheduler's per-job state (JobBoard.Status)
+//	/progress    the Progress ticker's throughput and ETA (Progress.Status)
+//	/healthz     liveness: version, uptime, goroutine count
+//	/debug/pprof/* the standard net/http/pprof handlers
+//
+// Every data source is optional and nil-safe: a nil Registry serves an
+// empty snapshot, a nil JobBoard an empty board, a nil Progress a zeroed
+// status — so the command-line front ends wire up whatever the run has.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// ServerState bundles the live data sources the server renders.
+type ServerState struct {
+	Registry *Registry
+	Board    *JobBoard
+	Progress *Progress
+	Version  string // reported by /healthz
+}
+
+// NewServeMux builds the live server's handler tree over st.
+func NewServeMux(st ServerState) *http.ServeMux {
+	start := time.Now()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "dynsched live run server (version %s)\n\n", st.Version)
+		fmt.Fprint(w, "endpoints:\n"+
+			"  /metrics        Prometheus text exposition of the metrics registry\n"+
+			"  /metrics.json   JSON metrics snapshot (same shape as -metrics-out)\n"+
+			"  /jobs           experiment scheduler job board\n"+
+			"  /progress       throughput and ETA of the running simulations\n"+
+			"  /healthz        liveness and uptime\n"+
+			"  /debug/pprof/   runtime profiles\n")
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, st.Registry.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := st.Registry.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, st.Board.Status())
+	})
+
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, st.Progress.Status())
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, map[string]any{
+			"status":         "ok",
+			"version":        st.Version,
+			"uptime_seconds": time.Since(start).Seconds(),
+			"goroutines":     runtime.NumGoroutine(),
+		})
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+func serveJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Server is a running live server; Close shuts it down.
+type Server struct {
+	// Addr is the actual listen address (useful with ":0").
+	Addr string
+
+	srv *http.Server
+}
+
+// StartServer listens on addr (":0" picks a free port) and serves the live
+// endpoints in a background goroutine until Close.
+func StartServer(addr string, st ServerState) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: serve: %w", err)
+	}
+	srv := &http.Server{Handler: NewServeMux(st)}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Close immediately shuts the server down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

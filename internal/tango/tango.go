@@ -57,9 +57,10 @@ type Config struct {
 	// e.g. "tango.ocean.".
 	MetricsPrefix string
 	// Progress, when non-nil, receives periodic executed-instruction and
-	// simulated-cycle counts for the -progress ticker (delta-added, so one
-	// ticker can span several sequential simulations).
-	Progress *obs.Progress
+	// simulated-cycle counts for the -progress ticker, as one labelled lane
+	// (obtain one via Progress.Lane) so concurrent simulations do not
+	// clobber each other's rows.
+	Progress *obs.Lane
 }
 
 // DefaultConfig returns the paper's machine: 16 processors, 64 KB caches,
@@ -192,8 +193,8 @@ func Run(progs []*asm.Program, memInit func(m *vm.PagedMem), cfg Config) (*Resul
 		if cfg.MetricsPrefix == "" {
 			cfg.MetricsPrefix = "tango."
 		}
-		s.wbHist = cfg.Metrics.Histogram(cfg.MetricsPrefix+"writebuf.backlog_cycles",
-			0, 1, 2, 5, 10, 25, 50, 100, 250).Batch()
+		s.wbHist = cfg.Metrics.HistogramBatch(cfg.MetricsPrefix+"writebuf.backlog_cycles",
+			0, 1, 2, 5, 10, 25, 50, 100, 250)
 	}
 	if cfg.TraceCPU >= 0 {
 		s.tr = &trace.Trace{
@@ -258,7 +259,7 @@ func (s *sim) publishProgress(now uint64) {
 // publishMetrics exports the run's per-CPU and machine-level counters into
 // Config.Metrics under the "tango." prefix. No-op without a registry.
 func (s *sim) publishMetrics(res *Result) {
-	s.wbHist.Flush()
+	s.wbHist.Close()
 	reg := s.cfg.Metrics
 	if reg == nil {
 		return
