@@ -64,12 +64,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dynsched"
@@ -101,6 +105,8 @@ func run(args []string) error {
 	traceCPU := fs.Int("tracecpu", 1, "processor whose trace is replayed")
 	appList := fs.String("apps", "", "comma-separated applications (default: all five)")
 	workers := fs.Int("j", 0, "worker goroutines for experiment fan-out (0 = GOMAXPROCS)")
+	retries := fs.Int("retries", 0, "extra attempts a failed replay cell gets before it is marked failed")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	csvOut := fs.Bool("csv", false, "emit figure data as CSV (fig3, fig4, latency100, issue4, wo, scpf)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
 	pipeOut := fs.String("pipe-trace-out", "", "write a pipeline trace of an RC-DS64 replay of the first app (.json = Chrome trace, else Konata)")
@@ -140,16 +146,45 @@ func run(args []string) error {
 		return fmt.Errorf("expected exactly one experiment name")
 	}
 
+	// Validate resource flags up front: a bad value should be a usage error
+	// now, not a confusing failure three simulations in.
+	switch {
+	case *workers < 0:
+		return fmt.Errorf("-j must be >= 0, got %d", *workers)
+	case *retries < 0:
+		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
+	case *timeout < 0:
+		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
+	case *cpus <= 0:
+		return fmt.Errorf("-cpus must be >= 1, got %d", *cpus)
+	case *traceCPU < 0:
+		return fmt.Errorf("-tracecpu must be >= 0, got %d", *traceCPU)
+	}
+
 	scale, err := apps.ParseScale(*scaleName)
 	if err != nil {
 		return err
 	}
+
+	// SIGINT/SIGTERM (and -timeout) cancel the run cooperatively: the
+	// simulators poll the context and unwind, partial results are printed,
+	// and the ledger record is marked interrupted.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opts := exp.Options{
 		NumCPUs:     *cpus,
 		Scale:       scale,
 		MissPenalty: uint32(*latency),
 		TraceCPU:    *traceCPU,
 		Workers:     *workers,
+		Retries:     *retries,
+		Ctx:         ctx,
 	}
 	if *appList != "" {
 		opts.Apps = strings.Split(*appList, ",")
@@ -186,12 +221,21 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		// Drain in-flight scrapes before exiting; fall back to a hard close
+		// after two seconds so shutdown can never hang the CLI.
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			srv.Shutdown(sctx)
+		}()
 		fmt.Fprintf(os.Stderr, "hidelat: live server on http://%s/ (metrics, jobs, progress, pprof)\n", srv.Addr)
 	}
 	e := exp.New(opts)
 	emitCSV = *csvOut
-	writeLedger := func(cmd string) error {
+	// writeLedger appends the run record even when the run failed: an
+	// interrupted or partial sweep is marked as such rather than vanishing
+	// from the run history.
+	writeLedger := func(cmd string, runErr error) error {
 		if *ledgerPath == "" {
 			return nil
 		}
@@ -199,6 +243,13 @@ func run(args []string) error {
 			"scale": *scaleName, "latency": *latency, "cpus": *cpus,
 			"tracecpu": *traceCPU, "apps": *appList, "j": *workers,
 		}, start, metricsReg.Snapshot())
+		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+			rec.Interrupted = true
+		}
+		var pe *exp.PartialError
+		if errors.As(runErr, &pe) {
+			rec.FailedCells = pe.FailedLabels()
+		}
 		if err := obs.AppendLedger(*ledgerPath, rec); err != nil {
 			return err
 		}
@@ -226,13 +277,36 @@ func run(args []string) error {
 		"contention": contention,
 		"machines":   machines,
 	}
-	if what == "all" {
+	if what != "all" {
+		if _, ok := steps[what]; !ok {
+			return fmt.Errorf("unknown experiment %q", what)
+		}
+		if what == "latency100" && opts.MissPenalty != 100 {
+			opts.MissPenalty = 100
+			e = exp.New(opts)
+		}
+	}
+
+	// Run the experiment(s). A *PartialError degrades rather than aborts:
+	// the step has already printed its partial tables, `all` continues with
+	// the remaining experiments, and the combined failure is reported at
+	// exit. Anything else — including cancellation — stops the dispatch.
+	stepErr := func() error {
+		if what != "all" {
+			stepName = what
+			return steps[what](e)
+		}
+		var partial error
 		for _, name := range []string{"table1", "table2", "table3", "fig3", "fig4",
 			"summary", "delays", "distances", "issue4", "wo", "scpf", "resched",
 			"cachegeom", "contexts", "contention", "machines", "ablate"} {
 			stepName = name
 			if err := steps[name](e); err != nil {
-				return err
+				var pe *exp.PartialError
+				if !errors.As(err, &pe) {
+					return err
+				}
+				partial = err
 			}
 			fmt.Println()
 		}
@@ -241,29 +315,29 @@ func run(args []string) error {
 		opts100.MissPenalty = 100
 		stepName = "latency100"
 		if err := latency100(exp.New(opts100)); err != nil {
-			return err
+			var pe *exp.PartialError
+			if !errors.As(err, &pe) {
+				return err
+			}
+			partial = err
 		}
-		if err := finishObs(e, *metricsOut, *pipeOut, *memProfile); err != nil {
-			return err
+		return partial
+	}()
+
+	// Write the observability artifacts unless the run was canceled — the
+	// writers are atomic, so a partial sweep still leaves valid files — and
+	// always record the run in the ledger, marked interrupted or partial.
+	interrupted := errors.Is(stepErr, context.Canceled) || errors.Is(stepErr, context.DeadlineExceeded)
+	var pe *exp.PartialError
+	if !interrupted && (stepErr == nil || errors.As(stepErr, &pe)) {
+		if err := finishObs(e, *metricsOut, *pipeOut, *memProfile); err != nil && stepErr == nil {
+			stepErr = err
 		}
-		return writeLedger(what)
 	}
-	step, ok := steps[what]
-	if !ok {
-		return fmt.Errorf("unknown experiment %q", what)
+	if err := writeLedger(what, stepErr); err != nil && stepErr == nil {
+		stepErr = err
 	}
-	if what == "latency100" && opts.MissPenalty != 100 {
-		opts.MissPenalty = 100
-		e = exp.New(opts)
-	}
-	stepName = what
-	if err := step(e); err != nil {
-		return err
-	}
-	if err := finishObs(e, *metricsOut, *pipeOut, *memProfile); err != nil {
-		return err
-	}
-	return writeLedger(what)
+	return stepErr
 }
 
 // runDiff implements `hidelat diff OLD NEW`: load the tracked metrics of two
@@ -396,20 +470,18 @@ func table3(e *exp.Experiment) error {
 
 func fig3(e *exp.Experiment) error {
 	acs, err := e.Figure3All()
-	if err != nil {
-		return err
+	if acs != nil {
+		printColumns("Figure 3: static vs dynamic scheduling under SC/PC/RC (normalized to BASE)", acs)
 	}
-	printColumns("Figure 3: static vs dynamic scheduling under SC/PC/RC (normalized to BASE)", acs)
-	return nil
+	return err
 }
 
 func fig4(e *exp.Experiment) error {
 	acs, err := e.Figure4All()
-	if err != nil {
-		return err
+	if acs != nil {
+		printColumns("Figure 4: perfect branch prediction (PBP) and ignored data dependences (ND) under RC", acs)
 	}
-	printColumns("Figure 4: perfect branch prediction (PBP) and ignored data dependences (ND) under RC", acs)
-	return nil
+	return err
 }
 
 func summary(e *exp.Experiment) error {
@@ -432,38 +504,34 @@ func delays(e *exp.Experiment) error {
 
 func latency100(e *exp.Experiment) error {
 	acs, err := e.WindowSweepAll()
-	if err != nil {
-		return err
+	if acs != nil {
+		printColumns("Latency 100: RC window sweep with a 100-cycle miss penalty (§4.2)", acs)
 	}
-	printColumns("Latency 100: RC window sweep with a 100-cycle miss penalty (§4.2)", acs)
-	return nil
+	return err
 }
 
 func issue4(e *exp.Experiment) error {
 	acs, err := e.Issue4All()
-	if err != nil {
-		return err
+	if acs != nil {
+		printColumns("Multiple issue: RC window sweep at 4-wide issue (§4.2)", acs)
 	}
-	printColumns("Multiple issue: RC window sweep at 4-wide issue (§4.2)", acs)
-	return nil
+	return err
 }
 
 func wo(e *exp.Experiment) error {
 	acs, err := e.WOAll()
-	if err != nil {
-		return err
+	if acs != nil {
+		printColumns("Weak ordering: DS window sweep under WO (extension)", acs)
 	}
-	printColumns("Weak ordering: DS window sweep under WO (extension)", acs)
-	return nil
+	return err
 }
 
 func scpf(e *exp.Experiment) error {
 	acs, err := e.SCPrefetchAll()
-	if err != nil {
-		return err
+	if acs != nil {
+		printColumns("SC with non-binding prefetch: DS window sweep (extension, ref [8] / §6)", acs)
 	}
-	printColumns("SC with non-binding prefetch: DS window sweep (extension, ref [8] / §6)", acs)
-	return nil
+	return err
 }
 
 func reschedCmd(e *exp.Experiment) error {

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -110,16 +111,16 @@ func gen(args []string) error {
 			return err
 		}
 	}
-	f, err := os.Create(*out)
+	// Write through a temp file + rename so a crash mid-write can never
+	// leave a torn trace at the destination (the CRC footer would catch it,
+	// but an old intact file is strictly better than a rejected one).
+	var n int64
+	err = obs.WriteFileAtomic(*out, func(w io.Writer) error {
+		var werr error
+		n, werr = run.Trace.WriteTo(w)
+		return werr
+	})
 	if err != nil {
-		return err
-	}
-	defer f.Close()
-	n, err := run.Trace.WriteTo(f)
-	if err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s: %d instructions, %d bytes\n", *out, run.Trace.Len(), n)

@@ -37,6 +37,7 @@
 package dynsched
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -46,6 +47,7 @@ import (
 	"dynsched/internal/consistency"
 	"dynsched/internal/cpu"
 	"dynsched/internal/exp"
+	"dynsched/internal/faultinject"
 	"dynsched/internal/mem"
 	"dynsched/internal/obs"
 	"dynsched/internal/tango"
@@ -55,7 +57,7 @@ import (
 
 // Version identifies the dynsched build; the command-line tools report it
 // via their -version flags.
-const Version = "0.4.0"
+const Version = "0.5.0"
 
 // Consistency models (§2.1 of the paper).
 const (
@@ -114,6 +116,13 @@ type TraceOptions struct {
 
 	// Observe attaches optional instrumentation to the simulation.
 	Observe Observe
+
+	// Ctx cancels the simulation cooperatively; nil never cancels.
+	Ctx context.Context
+	// MaxCycles kills the simulation with a *MachineError once simulated
+	// time passes this many cycles (0 = unbounded) — a livelock backstop
+	// with a machine-state dump for diagnosis.
+	MaxCycles uint64
 }
 
 // Metrics is a registry of named counters, gauges, and histograms that the
@@ -214,7 +223,7 @@ func GenerateTrace(app string, opts TraceOptions) (*TraceRun, error) {
 	cfg := tango.Config{
 		NumCPUs: opts.NumCPUs, TraceCPU: opts.TraceCPU, Mem: mem.DefaultConfig(),
 		Metrics: opts.Observe.Metrics, MetricsPrefix: opts.Observe.MetricsPrefix,
-		Progress: lane,
+		Progress: lane, Ctx: opts.Ctx, MaxCycles: opts.MaxCycles,
 	}
 	cfg.Mem.MissPenalty = opts.MissPenalty
 	var m *vm.PagedMem
@@ -255,6 +264,13 @@ type ProcessorConfig struct {
 
 	// Observe attaches optional instrumentation to the replay.
 	Observe Observe
+
+	// Ctx cancels the replay cooperatively; nil never cancels.
+	Ctx context.Context
+	// WatchdogBudget overrides the no-forward-progress cycle budget after
+	// which a stalled replay is killed with a *WatchdogError (0 = the
+	// generous cpu.DefaultWatchdogBudget).
+	WatchdogBudget uint64
 }
 
 // Run replays tr through the configured processor model.
@@ -278,6 +294,8 @@ func Run(tr *Trace, pc ProcessorConfig) (Result, error) {
 		MetricsPrefix:  pc.Observe.MetricsPrefix,
 		Pipe:           pc.Observe.Pipe,
 		Progress:       lane,
+		Ctx:            pc.Ctx,
+		WatchdogBudget: pc.WatchdogBudget,
 	}
 	if pc.PerfectBranches {
 		cfg.Predictor = bpred.Perfect{}
@@ -324,3 +342,30 @@ func NewExperiment(opts ExperimentOptions) *Experiment { return exp.New(opts) }
 
 // DefaultExperimentOptions returns the paper's main configuration.
 func DefaultExperimentOptions() ExperimentOptions { return exp.DefaultOptions() }
+
+// Structured failure types. Every sweep degrades rather than aborts: a
+// failing or panicking cell is retried (ExperimentOptions.Retries), then
+// recorded as a *CellError inside the *PartialError returned alongside the
+// surviving columns. The simulators convert livelocks into diagnosable
+// errors — *WatchdogError from a replay that stops retiring instructions,
+// *MachineError from a deadlocked, runaway, or cycle-budget-exceeded
+// multiprocessor simulation — both carrying a state dump and marked
+// permanent so they are never retried. All unwrap with errors.As.
+type (
+	CellError     = exp.CellError
+	PartialError  = exp.PartialError
+	WatchdogError = cpu.WatchdogError
+	MachineError  = tango.MachineError
+)
+
+// FaultInjector arms deterministic faults (errors, panics, delays) at named
+// sites inside the harness — the hook behind ExperimentOptions.Faults, used
+// by the robustness tests and the fault-injection CI job.
+type FaultInjector = faultinject.Injector
+
+// Fault configures one injected failure; NewFaultInjector creates an empty
+// (disarmed) injector.
+type Fault = faultinject.Fault
+
+// NewFaultInjector creates an empty fault injector.
+func NewFaultInjector() *FaultInjector { return faultinject.New() }

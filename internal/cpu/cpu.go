@@ -21,6 +21,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"dynsched/internal/consistency"
@@ -198,6 +199,19 @@ type Config struct {
 	// ticker, as one labelled lane so concurrent replays do not clobber each
 	// other's rows (obtain one via Progress.Lane).
 	Progress *obs.Lane
+
+	// Robustness controls.
+
+	// Ctx cancels a long replay cooperatively: the simulation loops poll it
+	// every few thousand cycles and return its error once it is done. nil
+	// means never cancel.
+	Ctx context.Context
+
+	// WatchdogBudget is the maximum number of cycles a replay may run
+	// without forward progress (retiring an instruction or accepting /
+	// completing an access) before it is killed with a *WatchdogError
+	// carrying a pipeline-state dump. 0 selects DefaultWatchdogBudget.
+	WatchdogBudget uint64
 }
 
 func (c Config) withDefaults() Config {

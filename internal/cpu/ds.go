@@ -266,9 +266,35 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 
 	var srcBuf [2]uint8
 
+	// Livelock watchdog and cooperative cancellation, polled on a stride so
+	// the per-cycle hot path stays branch-light.
+	dog := newWatchdog(cfg.WatchdogBudget)
+	dsState := func() string {
+		s := fmt.Sprintf("head=%d next=%d decoded=%d/%d memLive=%d storeBuf=%d outstandingMiss=%d fetchBlockedBy=%d",
+			headSeq, nextSeq, idx, len(events), memLive, sbCount, outMiss, fetchBlockedBy)
+		if headSeq < nextSeq {
+			h := at(headSeq)
+			s += fmt.Sprintf("; ROB head seq=%d op=%s deps=%d dispatched=%t done=%t",
+				h.seq, h.ev.Instr.String(), h.depCount, h.dispatched, h.done)
+			if h.mop != nil {
+				s += fmt.Sprintf(" mop{addrReady=%t issued=%t performed=%t inSB=%t}",
+					h.mop.addrReady, h.mop.issued, h.mop.performed, h.mop.inSB)
+			}
+		}
+		return s
+	}
+
 	for idx < len(events) || headSeq < nextSeq || memLive > 0 {
 		if t >= maxDSCycles {
 			return Result{}, fmt.Errorf("cpu: DS simulation exceeded %d cycles (stuck?)", maxDSCycles)
+		}
+		if t&(watchdogStride-1) == 0 {
+			if err := ctxErr(cfg.Ctx); err != nil {
+				return Result{}, fmt.Errorf("cpu: DS replay canceled at cycle %d: %w", t, err)
+			}
+			if err := dog.check("DS", t, dsState); err != nil {
+				return Result{}, err
+			}
 		}
 
 		// Phase 1: completions scheduled for this cycle.
@@ -378,6 +404,9 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 			}
 			headSeq++
 			retired++
+		}
+		if retired > 0 {
+			dog.last = t
 		}
 
 		// Stall attribution: a cycle with no retirement is classified by the

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"dynsched/internal/consistency"
 	"dynsched/internal/isa"
 	"dynsched/internal/obs"
@@ -207,7 +209,41 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		}
 	}
 
+	model := "SSBR"
+	if nonBlockingReads {
+		model = "SS"
+	}
+	dog := newWatchdog(cfg.WatchdogBudget)
+	staticState := func() string {
+		s := fmt.Sprintf("accepted=%d/%d window=%d writeBuf=%d readBuf=%d",
+			idx, len(events), len(win.ops), wbCount, rbCount)
+		if blockAcq != nil {
+			s += fmt.Sprintf("; blocked on acquire seq=%d performed=%t wall=%d",
+				blockAcq.seq, blockAcq.performed, blockAcq.wall)
+		}
+		if blockLoad != nil {
+			s += fmt.Sprintf("; blocked on load seq=%d issued=%t", blockLoad.seq, blockLoad.issued)
+		}
+		if len(win.ops) > 0 {
+			h := win.ops[0]
+			s += fmt.Sprintf("; oldest access seq=%d op=%s issued=%t performed=%t",
+				h.seq, h.op, h.issued, h.performed)
+		}
+		return s
+	}
+
 	for idx < len(events) || len(win.ops) > 0 {
+		if t&(watchdogStride-1) == 0 {
+			if err := ctxErr(cfg.Ctx); err != nil {
+				return Result{}, fmt.Errorf("cpu: %s replay canceled at cycle %d: %w", model, t, err)
+			}
+			if err := dog.check(model, t, staticState); err != nil {
+				return Result{}, err
+			}
+		}
+
+		prevIdx := idx
+
 		// Phase 1: completions.
 		changed := false
 		for _, op := range win.ops {
@@ -341,6 +377,10 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 
 		// Phase 3: cache port issues one access.
 		win.issueOne(t, cfg.Model, eligible)
+
+		if changed || idx != prevIdx {
+			dog.last = t
+		}
 
 		if cfg.Metrics != nil {
 			wbHist.Observe(uint64(wbCount))

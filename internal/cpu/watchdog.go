@@ -1,0 +1,89 @@
+package cpu
+
+// The replay watchdog: every simulation loop in this package is driven by a
+// cycle counter, so a modelling bug (an access that never performs, a
+// dependence edge that never resolves) shows up as a loop that spins forever
+// without retiring anything. The watchdog bounds how long a replay may run
+// without forward progress and converts such livelocks into a structured
+// *WatchdogError carrying a pipeline-state dump, instead of a hung process.
+//
+// It is deliberately distinct from the absolute maxDSCycles guard: that one
+// caps total simulated time, while the watchdog caps *stagnant* time, so it
+// fires long before the absolute cap on a genuinely stuck pipeline yet never
+// fires on a long-but-progressing replay.
+
+import (
+	"context"
+	"fmt"
+)
+
+// DefaultWatchdogBudget is the no-progress cycle budget used when
+// Config.WatchdogBudget is zero. Legitimate no-retire stretches — an
+// acquire's contention wait W, a burst of back-to-back misses — are bounded
+// by the application's own simulated time, orders of magnitude below this.
+const DefaultWatchdogBudget = uint64(1) << 30
+
+// watchdogStride is how often (in cycles, power of two) the replay loops
+// poll the watchdog and the cancellation context; a stride keeps the checks
+// off the per-cycle hot path.
+const watchdogStride = 1 << 14
+
+// WatchdogError reports a replay killed for making no forward progress.
+// It is permanent: retrying the same deterministic simulation would livelock
+// again, so the experiment scheduler fails the cell immediately.
+type WatchdogError struct {
+	Model        string // "DS", "SSBR", "SS", "tango"
+	Cycle        uint64 // cycle at which the watchdog fired
+	LastProgress uint64 // last cycle that retired/completed anything
+	Budget       uint64 // the no-progress budget that was exceeded
+	State        string // human-readable pipeline-state dump
+}
+
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("cpu: %s watchdog: no forward progress for %d cycles (budget %d, cycle %d, last progress at %d); state: %s",
+		e.Model, e.Cycle-e.LastProgress, e.Budget, e.Cycle, e.LastProgress, e.State)
+}
+
+// Permanent marks the error as not worth retrying (see exp's retry policy).
+func (e *WatchdogError) Permanent() bool { return true }
+
+// watchdog tracks the last cycle at which a replay made forward progress.
+type watchdog struct {
+	budget uint64
+	last   uint64
+}
+
+func newWatchdog(budget uint64) watchdog {
+	if budget == 0 {
+		budget = DefaultWatchdogBudget
+	}
+	return watchdog{budget: budget}
+}
+
+// check returns a *WatchdogError if more than budget cycles have elapsed
+// since the last recorded progress. state is only invoked when firing.
+func (w *watchdog) check(model string, t uint64, state func() string) error {
+	if t-w.last <= w.budget {
+		return nil
+	}
+	return &WatchdogError{
+		Model:        model,
+		Cycle:        t,
+		LastProgress: w.last,
+		Budget:       w.budget,
+		State:        state(),
+	}
+}
+
+// ctxErr polls ctx without blocking; nil ctx never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,109 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"dynsched/internal/consistency"
+	"dynsched/internal/trace"
+)
+
+// stallTrace holds an acquire whose contention wait W is far beyond the
+// test's watchdog budget, producing a long legitimate no-retire stretch —
+// exactly the signature of a livelocked replay.
+func stallTrace(wait uint32) *trace.Trace {
+	return newTB().
+		alu(1, 0, 0).
+		lock(256, wait, 50).
+		unlock(256, 1).
+		halt()
+}
+
+func TestWatchdogKillsStalledReplay(t *testing.T) {
+	tr := stallTrace(1 << 22)
+	for _, tc := range []struct {
+		model string
+		run   func(*trace.Trace, Config) (Result, error)
+	}{
+		{"SSBR", RunSSBR},
+		{"SS", RunSS},
+		{"DS", RunDS},
+	} {
+		c := cfg(consistency.SC, 64)
+		c.WatchdogBudget = 100
+		_, err := tc.run(tr, c)
+		if err == nil {
+			t.Fatalf("%s: stalled replay not killed", tc.model)
+		}
+		var wd *WatchdogError
+		if !errors.As(err, &wd) {
+			t.Fatalf("%s: err = %v, want *WatchdogError", tc.model, err)
+		}
+		if wd.Model != tc.model {
+			t.Errorf("model = %q, want %q", wd.Model, tc.model)
+		}
+		if wd.Budget != 100 || wd.Cycle <= wd.LastProgress {
+			t.Errorf("%s: bad watchdog bookkeeping: %+v", tc.model, wd)
+		}
+		if wd.State == "" {
+			t.Errorf("%s: watchdog fired without a pipeline-state dump", tc.model)
+		}
+		if !wd.Permanent() {
+			t.Errorf("%s: watchdog errors must be permanent (not retried)", tc.model)
+		}
+		if !strings.Contains(err.Error(), "watchdog") || !strings.Contains(err.Error(), "state:") {
+			t.Errorf("%s: undiagnosable error text: %v", tc.model, err)
+		}
+	}
+}
+
+// The same stall under the default budget must complete: long waits are
+// legitimate, only stagnation beyond the budget is not.
+func TestWatchdogDefaultBudgetAllowsLongWaits(t *testing.T) {
+	tr := stallTrace(1 << 18)
+	for _, run := range []func(*trace.Trace, Config) (Result, error){RunSSBR, RunSS, RunDS} {
+		if _, err := run(tr, cfg(consistency.SC, 64)); err != nil {
+			t.Fatalf("legitimate long wait killed: %v", err)
+		}
+	}
+}
+
+// A generous explicit budget must not fire on a normal replay either.
+func TestWatchdogQuietOnNormalReplay(t *testing.T) {
+	tr := newTB().
+		alu(1, 0, 0).
+		load(2, 1, 64, true).
+		store(1, 2, 128, true).
+		halt()
+	for _, run := range []func(*trace.Trace, Config) (Result, error){RunSSBR, RunSS, RunDS} {
+		c := cfg(consistency.RC, 64)
+		c.WatchdogBudget = 1 << 20
+		if _, err := run(tr, c); err != nil {
+			t.Fatalf("watchdog fired on a healthy replay: %v", err)
+		}
+	}
+}
+
+func TestReplayCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := stallTrace(30)
+	for _, run := range []func(*trace.Trace, Config) (Result, error){RunSSBR, RunSS, RunDS} {
+		c := cfg(consistency.SC, 64)
+		c.Ctx = ctx
+		_, err := run(tr, c)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled replay returned %v, want context.Canceled", err)
+		}
+	}
+	// A live context changes nothing.
+	for _, run := range []func(*trace.Trace, Config) (Result, error){RunSSBR, RunSS, RunDS} {
+		c := cfg(consistency.SC, 64)
+		c.Ctx = context.Background()
+		if _, err := run(tr, c); err != nil {
+			t.Fatalf("background ctx broke the replay: %v", err)
+		}
+	}
+}

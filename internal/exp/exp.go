@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"dynsched/internal/bpred"
 	"dynsched/internal/consistency"
 	"dynsched/internal/cpu"
+	"dynsched/internal/faultinject"
 	"dynsched/internal/mem"
 	"dynsched/internal/obs"
 	"dynsched/internal/tango"
@@ -53,6 +55,24 @@ type Options struct {
 	// trace generations and the replay cells of figures, sweeps, and
 	// ablations — feeding the live server's /jobs endpoint.
 	Board *obs.JobBoard
+
+	// Ctx cancels the whole sweep cooperatively: trace generations and
+	// replay cells poll it and unwind with a context error, so Ctrl-C or a
+	// deadline stops a multi-hour run within one watchdog stride. nil never
+	// cancels.
+	Ctx context.Context
+	// Retries is the number of extra attempts a failed replay cell gets
+	// before it is marked failed. Only transient failures are retried:
+	// watchdog kills, simulator machine errors, cached trace-generation
+	// failures, and cancellation are terminal on the first attempt.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling on each
+	// subsequent one; 0 selects DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// Faults, when non-nil, injects deterministic failures at named sites
+	// ("gen.<app>", "cell.<label>") — the fault-injection harness used by
+	// the robustness tests and the -race CI job. nil disables injection.
+	Faults *faultinject.Injector
 }
 
 // DefaultOptions returns the paper's main configuration at medium scale.
@@ -112,7 +132,11 @@ func (e *Experiment) Options() Options { return e.opts }
 
 // Run returns the cached trace for app, generating it on first use. It is
 // safe for concurrent use: the first caller generates, everyone else waits
-// for that single flight.
+// for that single flight. A panic during generation is contained here — it
+// would otherwise poison the once and hand every later caller a silent
+// (nil, nil). Failures are cached as permanent: the single flight would
+// return the identical error without re-running anything, so retrying a
+// cell against a failed generation is pointless and attempt() skips it.
 func (e *Experiment) Run(app string) (*AppRun, error) {
 	e.mu.Lock()
 	en := e.runs[app]
@@ -121,7 +145,19 @@ func (e *Experiment) Run(app string) (*AppRun, error) {
 		e.runs[app] = en
 	}
 	e.mu.Unlock()
-	en.once.Do(func() { en.run, en.err = e.generate(app) })
+	en.once.Do(func() {
+		err, stack := protect(func() error {
+			var err error
+			en.run, err = e.generate(app)
+			return err
+		})
+		if err != nil {
+			if stack != nil {
+				err = fmt.Errorf("exp: %s: trace generation panicked: %w\n%s", app, err, stack)
+			}
+			en.run, en.err = nil, &permanentError{err}
+		}
+	})
 	return en.run, en.err
 }
 
@@ -153,6 +189,9 @@ func (e *Experiment) generate(app string) (run *AppRun, err error) {
 	job := e.opts.Board.Enqueue("gen " + app)
 	e.opts.Board.Start(job)
 	defer func() { e.opts.Board.Finish(job, err) }()
+	if err := e.opts.Faults.Fire("gen." + app); err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", app, err)
+	}
 	a, err := apps.Build(app, e.opts.NumCPUs, e.opts.Scale)
 	if err != nil {
 		return nil, err
@@ -168,6 +207,7 @@ func (e *Experiment) generate(app string) (run *AppRun, err error) {
 		Mem:      mem.DefaultConfig(),
 		Metrics:  e.opts.Metrics,
 		Progress: lane,
+		Ctx:      e.opts.Ctx,
 	}
 	cfg.MetricsPrefix = "tango." + app + "."
 	cfg.Mem.MissPenalty = e.opts.MissPenalty
@@ -221,6 +261,13 @@ type Column struct {
 	Instructions uint64  // instructions replayed (MCPI denominator)
 	Normalized   float64 // total execution time as % of BASE
 	ReadHidden   float64 // fraction of BASE read-miss stall removed
+
+	// Failed marks a cell whose replay (or whose application's trace
+	// generation) failed terminally after retries. The breakdown is zero;
+	// Err carries the *CellError. Tables render the row as FAILED, CSV and
+	// metrics skip it, and the run ledger lists it under failed_cells.
+	Failed bool
+	Err    error
 }
 
 // RecordColumns publishes a figure's per-column execution-time breakdowns
@@ -232,6 +279,9 @@ func RecordColumns(reg *obs.Registry, figure, app string, cols []Column) {
 		return
 	}
 	for _, c := range cols {
+		if c.Failed {
+			continue
+		}
 		pre := fmt.Sprintf("fig.%s.%s.%s.", figure, app, c.Label)
 		set := func(name string, v uint64) { reg.Counter(pre + name).Set(v) }
 		set("cycles.total", c.Breakdown.Total())
@@ -253,12 +303,17 @@ func RecordColumns(reg *obs.Registry, figure, app string, cols []Column) {
 }
 
 func normalize(cols []Column) {
-	if len(cols) == 0 {
+	// cols[0] is the BASE reference; if it failed there is nothing to
+	// normalize against and the surviving columns keep their raw numbers.
+	if len(cols) == 0 || cols[0].Failed {
 		return
 	}
 	base := cols[0].Breakdown
 	for i := range cols {
 		c := &cols[i]
+		if c.Failed {
+			continue
+		}
 		if base.Total() > 0 {
 			c.Normalized = 100 * float64(c.Breakdown.Total()) / float64(base.Total())
 		}
@@ -305,7 +360,7 @@ func figure3Cells() []cell {
 // Figure3 runs the §4.1 processor/model matrix over one application trace,
 // fanning the independent replays across GOMAXPROCS workers.
 func Figure3(tr *trace.Trace) ([]Column, error) {
-	return runCells(tr, figure3Cells(), 0, nil, "")
+	return runCells(tr, figure3Cells(), 0, nil, "", new(Options))
 }
 
 // figure4Cells is the §4.1.3 isolation experiment under RC: the window sweep
@@ -335,7 +390,7 @@ func figure4Cells() []cell {
 // Figure4 runs the §4.1.3 isolation experiment over one application trace,
 // fanning the independent replays across GOMAXPROCS workers.
 func Figure4(tr *trace.Trace) ([]Column, error) {
-	return runCells(tr, figure4Cells(), 0, nil, "")
+	return runCells(tr, figure4Cells(), 0, nil, "", new(Options))
 }
 
 // windowSweepCells is the DS window sweep under a model with BASE as the
@@ -355,7 +410,7 @@ func windowSweepCells(model consistency.Model, mutate func(*cpu.Config)) []cell 
 // WindowSweep runs the DS processor across the window sizes under a model,
 // fanning the independent replays across GOMAXPROCS workers.
 func WindowSweep(tr *trace.Trace, model consistency.Model, mutate func(*cpu.Config)) ([]Column, error) {
-	return runCells(tr, windowSweepCells(model, mutate), 0, nil, "")
+	return runCells(tr, windowSweepCells(model, mutate), 0, nil, "", new(Options))
 }
 
 // ReadHiddenSummary reproduces the concluding statistic of §7: the average

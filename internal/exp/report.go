@@ -157,7 +157,7 @@ func (e *Experiment) AblationStoreBuffer(app string) ([]Column, error) {
 			mutate: func(c *cpu.Config) { c.StoreBufDepth = depth },
 		})
 	}
-	return runCells(run.Trace, cells, e.opts.Workers, e.opts.Board, app+" ")
+	return runCells(run.Trace, cells, e.opts.Workers, e.opts.Board, app+" ", &e.opts)
 }
 
 // AblationMSHR sweeps the number of outstanding misses allowed.
@@ -178,7 +178,7 @@ func (e *Experiment) AblationMSHR(app string) ([]Column, error) {
 			mutate: func(c *cpu.Config) { c.MSHRs = n },
 		})
 	}
-	return runCells(run.Trace, cells, e.opts.Workers, e.opts.Board, app+" ")
+	return runCells(run.Trace, cells, e.opts.Workers, e.opts.Board, app+" ", &e.opts)
 }
 
 // MachineRow is one machine size of the processor-count sweep.
@@ -349,6 +349,7 @@ func (e *Experiment) MultipleContexts(app string, switchPenalty int) ([]MCRow, e
 		TraceCPU:  e.opts.TraceCPU % e.opts.NumCPUs,
 		Mem:       mem.DefaultConfig(),
 		RecordAll: true,
+		Ctx:       e.opts.Ctx,
 	}
 	cfg.Mem.MissPenalty = e.opts.MissPenalty
 	res, err := tango.Run(a.Progs, func(pm *vm.PagedMem) { a.Init(pm) }, cfg)
@@ -548,5 +549,5 @@ func (e *Experiment) AblationBTB(app string, mkBTB func(entries int) trace.Predi
 			mutate: func(c *cpu.Config) { c.Predictor = mkBTB(entries) },
 		})
 	}
-	return runCells(run.Trace, cells, e.opts.Workers, e.opts.Board, app+" ")
+	return runCells(run.Trace, cells, e.opts.Workers, e.opts.Board, app+" ", &e.opts)
 }

@@ -1,0 +1,305 @@
+package exp
+
+// Tests for the scheduler's failure containment: deterministic lowest-index
+// error selection (byte-identical failures at any worker count), graceful
+// degradation to partial results, panic isolation, retry of transient
+// faults, and cooperative cancellation. The fault-injection harness drives
+// the failure paths deterministically; run with -race in CI.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dynsched/internal/apps"
+	"dynsched/internal/faultinject"
+)
+
+// TestRunJobsLowestIndexError pins the determinism fix: index 7 fails
+// instantly, index 3 fails only after a delay, so completion order favours
+// 7 — but the caller must always see index 3's error, exactly as serial
+// execution would.
+func TestRunJobsLowestIndexError(t *testing.T) {
+	errSlow := errors.New("slow failure at 3")
+	errFast := errors.New("fast failure at 7")
+	for _, workers := range []int{1, 2, 4, 8} {
+		err := runJobs(20, workers, func(i int) error {
+			switch i {
+			case 3:
+				time.Sleep(20 * time.Millisecond)
+				return errSlow
+			case 7:
+				return errFast
+			}
+			return nil
+		})
+		if !errors.Is(err, errSlow) {
+			t.Fatalf("workers=%d: err = %v, want the lowest-index error %v", workers, err, errSlow)
+		}
+	}
+}
+
+// Every index below the returned failure must have actually run — the
+// lowest-index guarantee is about matching serial semantics, not just
+// picking a smaller number.
+func TestRunJobsRunsEverythingBelowFailure(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{2, 8} {
+		const n, failAt = 64, 40
+		ran := make([]bool, n)
+		var mu sync.Mutex
+		err := runJobs(n, workers, func(i int) error {
+			mu.Lock()
+			ran[i] = true
+			mu.Unlock()
+			if i == failAt {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		for i := 0; i < failAt; i++ {
+			if !ran[i] {
+				t.Fatalf("workers=%d: index %d below the failure never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunJobsAllCollectsEveryError(t *testing.T) {
+	bad := map[int]error{5: errors.New("five"), 12: errors.New("twelve")}
+	for _, workers := range []int{0, 1, 4} {
+		const n = 20
+		ran := make([]bool, n)
+		var mu sync.Mutex
+		errs := runJobsAll(nil, n, workers, func(i int) error {
+			mu.Lock()
+			ran[i] = true
+			mu.Unlock()
+			return bad[i]
+		})
+		for i := 0; i < n; i++ {
+			if !ran[i] {
+				t.Fatalf("workers=%d: index %d never ran despite failures elsewhere", workers, i)
+			}
+			if !errors.Is(errs[i], bad[i]) {
+				t.Fatalf("workers=%d: errs[%d] = %v, want %v", workers, i, errs[i], bad[i])
+			}
+		}
+	}
+}
+
+func TestAttemptRetriesTransientThenSucceeds(t *testing.T) {
+	o := &Options{Retries: 2, RetryBackoff: time.Millisecond}
+	calls := 0
+	cerr := o.attempt("flaky", 0, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if cerr != nil || calls != 3 {
+		t.Fatalf("cerr = %v, calls = %d; want success on third attempt", cerr, calls)
+	}
+}
+
+func TestAttemptCapturesPanicWithStack(t *testing.T) {
+	o := &Options{Retries: 1, RetryBackoff: time.Millisecond}
+	cerr := o.attempt("boom", 4, func() error { panic("cell exploded") })
+	if cerr == nil {
+		t.Fatal("panicking cell reported success")
+	}
+	if cerr.Stack == nil || !strings.Contains(string(cerr.Stack), "goroutine") {
+		t.Errorf("panic stack not captured: %q", cerr.Stack)
+	}
+	if cerr.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (panics are retried)", cerr.Attempts)
+	}
+	if cerr.Index != 4 || cerr.Label != "boom" {
+		t.Errorf("identity lost: %+v", cerr)
+	}
+	if !strings.Contains(cerr.Error(), "panicked") || !strings.Contains(cerr.Error(), "cell exploded") {
+		t.Errorf("undiagnosable error text: %v", cerr)
+	}
+}
+
+func TestAttemptDoesNotRetryPermanentErrors(t *testing.T) {
+	o := &Options{Retries: 5, RetryBackoff: time.Millisecond}
+	calls := 0
+	cerr := o.attempt("dead", 0, func() error {
+		calls++
+		return &permanentError{errors.New("watchdog fired")}
+	})
+	if cerr == nil || calls != 1 {
+		t.Fatalf("cerr = %v, calls = %d; permanent errors must fail on the first attempt", cerr, calls)
+	}
+}
+
+func TestAttemptStopsOnCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := &Options{Retries: 10, RetryBackoff: time.Hour, Ctx: ctx}
+	calls := 0
+	cerr := o.attempt("canceled", 0, func() error { calls++; return errors.New("transient") })
+	if cerr == nil || calls != 1 {
+		t.Fatalf("cerr = %v, calls = %d; cancellation must stop the retry loop", cerr, calls)
+	}
+}
+
+// TestPanickingCellDegradesGracefully is the headline fault-injection check:
+// one cell of Figure 3 panics on every attempt, the sweep still finishes,
+// returns every other column, marks the failed one, and produces the exact
+// same partial output at any worker count.
+func TestPanickingCellDegradesGracefully(t *testing.T) {
+	render := func(workers int) (string, string) {
+		opts := DefaultOptions()
+		opts.Scale = apps.ScaleSmall
+		opts.Apps = []string{"mp3d"}
+		opts.Workers = workers
+		opts.Retries = 1
+		opts.RetryBackoff = time.Millisecond
+		opts.Faults = faultinject.New()
+		opts.Faults.Arm("cell.mp3d RC-DS64", faultinject.Fault{Kind: faultinject.KindPanic, Times: 99})
+		e := New(opts)
+		acs, err := e.Figure3All()
+		var pe *PartialError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PartialError", workers, err)
+		}
+		if len(pe.Cells) != 1 || pe.Cells[0].Label != "mp3d RC-DS64" {
+			t.Fatalf("workers=%d: wrong failure set: %v", workers, pe.FailedLabels())
+		}
+		if pe.Cells[0].Attempts != 2 || pe.Cells[0].Stack == nil {
+			t.Errorf("workers=%d: retry/stack bookkeeping off: attempts=%d stack=%v",
+				workers, pe.Cells[0].Attempts, pe.Cells[0].Stack != nil)
+		}
+		healthy := 0
+		for _, c := range acs[0].Cols {
+			if !c.Failed && c.Breakdown.Total() > 0 {
+				healthy++
+			}
+		}
+		if healthy != len(acs[0].Cols)-1 {
+			t.Fatalf("workers=%d: %d healthy columns, want %d", workers, healthy, len(acs[0].Cols)-1)
+		}
+		table := FormatAppColumns("fig3", acs)
+		if !strings.Contains(table, "FAILED") {
+			t.Errorf("workers=%d: failed cell not marked in the table:\n%s", workers, table)
+		}
+		return table, pe.Error()
+	}
+	serialTable, serialErr := render(1)
+	parTable, parErr := render(8)
+	if serialTable != parTable {
+		t.Errorf("partial table differs between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serialTable, parTable)
+	}
+	if serialErr != parErr {
+		t.Errorf("partial error differs between worker counts:\n%s\nvs\n%s", serialErr, parErr)
+	}
+}
+
+// A transient injected fault plus one retry must leave no trace in the
+// results: the sweep succeeds completely.
+func TestRetryRecoversTransientCellFault(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scale = apps.ScaleSmall
+	opts.Apps = []string{"mp3d"}
+	opts.Workers = 4
+	opts.Retries = 1
+	opts.RetryBackoff = time.Millisecond
+	opts.Faults = faultinject.New()
+	opts.Faults.Arm("cell.mp3d BASE", faultinject.Fault{Kind: faultinject.KindError})
+	e := New(opts)
+	acs, err := e.Figure3All()
+	if err != nil {
+		t.Fatalf("one transient fault with a retry budget broke the sweep: %v", err)
+	}
+	if opts.Faults.Fired("cell.mp3d BASE") != 1 {
+		t.Fatalf("fault fired %d times, want 1", opts.Faults.Fired("cell.mp3d BASE"))
+	}
+	for _, c := range acs[0].Cols {
+		if c.Failed || c.Breakdown.Total() == 0 {
+			t.Fatalf("column %q incomplete after recovery", c.Label)
+		}
+	}
+}
+
+// A failed trace generation fails that application's cells and nothing else.
+func TestGenerationFailureIsolatedPerApp(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scale = apps.ScaleSmall
+	opts.Apps = []string{"mp3d", "ocean"}
+	opts.Workers = 4
+	opts.Faults = faultinject.New()
+	opts.Faults.Arm("gen.mp3d", faultinject.Fault{Kind: faultinject.KindError})
+	e := New(opts)
+	acs, err := e.WindowSweepAll()
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if len(pe.Cells) != 1 || pe.Cells[0].Label != "mp3d (trace generation)" {
+		t.Fatalf("wrong failure set: %v", pe.FailedLabels())
+	}
+	for _, c := range acs[0].Cols { // mp3d
+		if !c.Failed {
+			t.Fatalf("mp3d column %q not marked failed after its generation failed", c.Label)
+		}
+	}
+	for _, c := range acs[1].Cols { // ocean
+		if c.Failed || c.Breakdown.Total() == 0 {
+			t.Fatalf("ocean column %q collateral-damaged by mp3d's generation failure", c.Label)
+		}
+	}
+	if csv := ColumnsCSV(acs); strings.Contains(csv, "mp3d") || !strings.Contains(csv, "ocean") {
+		t.Errorf("CSV must omit failed cells and keep healthy ones:\n%s", csv)
+	}
+}
+
+// Cancellation aborts the sweep outright — no partial results, a context
+// error — and a pre-canceled harness never starts simulating.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.Scale = apps.ScaleSmall
+	opts.Apps = []string{"mp3d"}
+	opts.Ctx = ctx
+	e := New(opts)
+	acs, err := e.Figure3All()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if acs != nil {
+		t.Fatalf("canceled sweep returned results: %v", acs)
+	}
+}
+
+// A panic during trace generation must not poison the single-flight cache:
+// later callers get the captured error, not (nil, nil).
+func TestGenerationPanicDoesNotPoisonCache(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scale = apps.ScaleSmall
+	opts.Apps = []string{"mp3d"}
+	opts.Faults = faultinject.New()
+	opts.Faults.Arm("gen.mp3d", faultinject.Fault{Kind: faultinject.KindPanic, Times: 99})
+	e := New(opts)
+	for i := 0; i < 2; i++ {
+		run, err := e.Run("mp3d")
+		if run != nil || err == nil {
+			t.Fatalf("call %d: run=%v err=%v, want (nil, error)", i, run, err)
+		}
+		if !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("call %d: panic origin lost: %v", i, err)
+		}
+		if !isPermanent(err) {
+			t.Fatalf("call %d: cached generation failure must be permanent", i)
+		}
+	}
+}

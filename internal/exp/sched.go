@@ -7,10 +7,14 @@ package exp
 // methodology uses (one Tango trace, many uniprocessor replays). runJobs is
 // the bounded worker pool all of the harness's fan-outs go through; results
 // are always stored by input index, so every table, figure, and golden
-// artifact is byte-identical regardless of the worker count.
+// artifact is byte-identical regardless of the worker count — including
+// failure output: errors are selected by index, never by completion time.
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -24,8 +28,11 @@ import (
 // selects runtime.GOMAXPROCS(0)). Each job writes its result into a caller-
 // owned slot keyed by its index, which is what makes the output order
 // deterministic: scheduling decides only when a job runs, never where its
-// result lands. The first error (by completion time) cancels the remaining
-// jobs and is returned.
+// result lands. On failure the error at the lowest failing index is
+// returned — not the first by completion time — so the failure is the one
+// serial execution would have hit and the output is byte-identical at any
+// worker count. Workers stop claiming jobs above the lowest known failure;
+// every job below it still runs to completion.
 func runJobs(n, workers int, fn func(int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -42,35 +49,93 @@ func runJobs(n, workers int, fn func(int) error) error {
 		return nil
 	}
 	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		first  error
+		next    atomic.Int64
+		minFail atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errs    = make(map[int]error)
 	)
+	minFail.Store(int64(n))
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for !failed.Load() {
+			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				// The claim counter is monotonic, so once a claim lands at or
+				// above the lowest failure every smaller index has already
+				// been claimed (and, if below the failure, will run).
+				if i >= n || int64(i) >= minFail.Load() {
 					return
 				}
 				if err := fn(i); err != nil {
-					failed.Store(true)
 					mu.Lock()
-					if first == nil {
-						first = err
-					}
+					errs[i] = err
 					mu.Unlock()
-					return
+					for {
+						cur := minFail.Load()
+						if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+							return
+						}
+					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return first
+	if m := minFail.Load(); m < int64(n) {
+		return errs[int(m)]
+	}
+	return nil
+}
+
+// runJobsAll executes fn(0..n-1) like runJobs but never stops on failure:
+// every job runs and the per-index errors are returned, errs[i] holding
+// fn(i)'s error. This is the graceful-degradation counterpart of runJobs,
+// used by the sweeps that finish the healthy cells and report partial
+// results. Cancellation is the one early exit: once ctx is done, unclaimed
+// jobs are marked with the context error instead of running.
+func runJobsAll(ctx context.Context, n, workers int, fn func(int) error) []error {
+	errs := make([]error, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctxDone(ctx); err != nil {
+				errs[i] = err
+				continue
+			}
+			errs[i] = fn(i)
+		}
+		return errs
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctxDone(ctx); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
 }
 
 // cell is one independent bar of a figure or sweep: a processor
@@ -83,8 +148,8 @@ type cell struct {
 	mutate func(*cpu.Config) // optional extra configuration
 }
 
-func (c cell) run(tr *trace.Trace) (Column, error) {
-	cfg := cpu.Config{Model: c.model, Window: c.window}
+func (c cell) run(tr *trace.Trace, o *Options) (Column, error) {
+	cfg := cpu.Config{Model: c.model, Window: c.window, Ctx: o.Ctx}
 	if c.mutate != nil {
 		c.mutate(&cfg)
 	}
@@ -98,70 +163,161 @@ func (c cell) run(tr *trace.Trace) (Column, error) {
 	}, nil
 }
 
+// failedColumn is the placeholder a terminally failed cell leaves in its
+// slot: the configuration identity survives so tables can mark the row, the
+// numbers stay zero.
+func failedColumn(c cell, err *CellError) Column {
+	return Column{Label: c.label, Model: c.model, Arch: c.arch, Window: c.window, Failed: true, Err: err}
+}
+
+// runCell executes one cell under the full containment stack — fault-
+// injection site, panic isolation, retry — and stores the column on success.
+// site is the cell's sweep-unique label ("mp3d RC-DS64").
+func runCell(tr *trace.Trace, c cell, o *Options, site string, index int, slot *Column) *CellError {
+	return o.attempt(site, index, func() error {
+		if err := o.Faults.Fire("cell." + site); err != nil {
+			return err
+		}
+		col, err := c.run(tr, o)
+		if err != nil {
+			return err
+		}
+		*slot = col
+		return nil
+	})
+}
+
 // runCells replays every cell over tr, fanning the independent replays
 // across workers, and returns the columns in cell order, normalized. Every
 // cell is enqueued on board (nil-safe) under labelPrefix before the fan-out
-// starts, so the live /jobs endpoint shows the whole queue up front.
-func runCells(tr *trace.Trace, cells []cell, workers int, board *obs.JobBoard, labelPrefix string) ([]Column, error) {
+// starts, so the live /jobs endpoint shows the whole queue up front. Failed
+// cells do not abort the sweep: the healthy columns are returned alongside
+// a *PartialError describing the failures, and the failed slots are marked.
+// Cancellation aborts with the context error and no results.
+func runCells(tr *trace.Trace, cells []cell, workers int, board *obs.JobBoard, labelPrefix string, o *Options) ([]Column, error) {
 	jobs := make([]int, len(cells))
 	for i := range cells {
 		jobs[i] = board.Enqueue(labelPrefix + cells[i].label)
 	}
 	cols := make([]Column, len(cells))
-	err := runJobs(len(cells), workers, func(i int) error {
+	errs := runJobsAll(o.Ctx, len(cells), workers, func(i int) error {
 		board.Start(jobs[i])
-		c, err := cells[i].run(tr)
-		board.Finish(jobs[i], err)
-		if err != nil {
-			return err
+		cerr := runCell(tr, cells[i], o, labelPrefix+cells[i].label, i, &cols[i])
+		if cerr != nil {
+			board.Finish(jobs[i], cerr)
+			return cerr
 		}
-		cols[i] = c
+		board.Finish(jobs[i], nil)
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if err := ctxDone(o.Ctx); err != nil {
+		return nil, fmt.Errorf("exp: sweep canceled: %w", err)
+	}
+	var failed []*CellError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		ce := err.(*CellError)
+		cols[i] = failedColumn(cells[i], ce)
+		failed = append(failed, ce)
 	}
 	normalize(cols)
+	if failed != nil {
+		return cols, &PartialError{Total: len(cells), Cells: failed}
+	}
 	return cols, nil
 }
 
 // perAppCells generates every application's trace concurrently, then fans
 // the full apps × cells matrix out as one flat job list — the scheduler's
-// main entry point for figures and sweeps.
+// main entry point for figures and sweeps. Failure is contained at both
+// phases: an application whose trace generation fails has all its cells
+// marked failed while the other applications' sweeps complete, and a failed
+// cell is marked without disturbing its neighbours. The partial results come
+// back alongside a *PartialError; only cancellation aborts outright.
 func (e *Experiment) perAppCells(cells []cell) ([]AppColumns, error) {
 	apps := e.Apps()
-	runs, err := e.RunAll(apps...)
-	if err != nil {
-		return nil, err
+	o := &e.opts
+	nc := len(cells)
+
+	runs := make([]*AppRun, len(apps))
+	genErrs := runJobsAll(o.Ctx, len(apps), o.Workers, func(i int) error {
+		r, err := e.Run(apps[i])
+		if err != nil {
+			return err
+		}
+		runs[i] = r
+		return nil
+	})
+	if err := ctxDone(o.Ctx); err != nil {
+		return nil, fmt.Errorf("exp: sweep canceled: %w", err)
 	}
+
 	out := make([]AppColumns, len(apps))
 	cols := make([][]Column, len(apps))
 	for i, app := range apps {
 		out[i].App = app
-		cols[i] = make([]Column, len(cells))
+		cols[i] = make([]Column, nc)
 	}
-	nc := len(cells)
-	jobs := make([]int, len(apps)*nc)
-	for k := range jobs {
-		jobs[k] = e.opts.Board.Enqueue(apps[k/nc] + " " + cells[k%nc].label)
-	}
-	err = runJobs(len(apps)*nc, e.opts.Workers, func(k int) error {
-		a, c := k/nc, k%nc
-		e.opts.Board.Start(jobs[k])
-		col, err := cells[c].run(runs[a].Trace)
-		e.opts.Board.Finish(jobs[k], err)
-		if err != nil {
-			return err
+
+	var failed []*CellError
+	for a, gerr := range genErrs {
+		if gerr == nil {
+			continue
 		}
-		cols[a][c] = col
+		ce := &CellError{Label: apps[a] + " (trace generation)", Index: a * nc, Attempts: 1, Err: gerr}
+		failed = append(failed, ce)
+		for c := range cells {
+			cols[a][c] = failedColumn(cells[c], ce)
+		}
+	}
+
+	// Fan out the cells of the applications that do have a trace.
+	type cellJob struct{ a, c, job int }
+	var cjs []cellJob
+	for a := range apps {
+		if genErrs[a] != nil {
+			continue
+		}
+		for c := range cells {
+			cjs = append(cjs, cellJob{a, c, o.Board.Enqueue(apps[a] + " " + cells[c].label)})
+		}
+	}
+	cellErrs := runJobsAll(o.Ctx, len(cjs), o.Workers, func(j int) error {
+		cj := cjs[j]
+		site := apps[cj.a] + " " + cells[cj.c].label
+		o.Board.Start(cj.job)
+		cerr := runCell(runs[cj.a].Trace, cells[cj.c], o, site, cj.a*nc+cj.c, &cols[cj.a][cj.c])
+		if cerr != nil {
+			o.Board.Finish(cj.job, cerr)
+			return cerr
+		}
+		o.Board.Finish(cj.job, nil)
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if err := ctxDone(o.Ctx); err != nil {
+		return nil, fmt.Errorf("exp: sweep canceled: %w", err)
 	}
+	for j, err := range cellErrs {
+		if err == nil {
+			continue
+		}
+		ce := err.(*CellError)
+		cj := cjs[j]
+		cols[cj.a][cj.c] = failedColumn(cells[cj.c], ce)
+		failed = append(failed, ce)
+	}
+
 	for i := range out {
 		normalize(cols[i])
 		out[i].Cols = cols[i]
+	}
+	if failed != nil {
+		// Generation failures and cell failures were collected in separate
+		// passes; order by index so the report is stable at any worker count.
+		sort.Slice(failed, func(i, j int) bool { return failed[i].Index < failed[j].Index })
+		return out, &PartialError{Total: len(apps) * nc, Cells: failed}
 	}
 	return out, nil
 }

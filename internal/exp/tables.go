@@ -133,7 +133,9 @@ func FormatTable3(rows []Table3Row) string {
 
 // FormatColumns renders a figure's columns as a normalized breakdown table,
 // the textual equivalent of the paper's stacked bar charts: each column
-// shows its sections as a percentage of BASE execution time.
+// shows its sections as a percentage of BASE execution time. A cell that
+// failed terminally (see Column.Failed) renders as a FAILED row carrying
+// the first line of its error, so partial results remain readable.
 func FormatColumns(title string, cols []Column) string {
 	var sb strings.Builder
 	sb.WriteString(title + "\n")
@@ -147,6 +149,10 @@ func FormatColumns(title string, cols []Column) string {
 		return fmt.Sprintf("%.1f", 100*float64(v)/base)
 	}
 	for _, c := range cols {
+		if c.Failed {
+			fmt.Fprintf(w, "%s\t|FAILED\t%s\n", c.Label, shortErr(c.Err))
+			continue
+		}
 		b := c.Breakdown
 		fmt.Fprintf(w, "%s\t|%d\t%s\t%s\t%s\t%s\t%s\t%s\t|%.1f\t%.0f\n",
 			c.Label, b.Total(), pct(b.Busy), pct(b.Sync), pct(b.Read), pct(b.Write),
@@ -156,14 +162,34 @@ func FormatColumns(title string, cols []Column) string {
 	return sb.String()
 }
 
+// shortErr compresses an error to a single table-cell-sized line.
+func shortErr(err error) string {
+	if err == nil {
+		return "?"
+	}
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 90 {
+		s = s[:87] + "..."
+	}
+	return s
+}
+
 // ColumnsCSV renders figure columns as CSV (one row per configuration) for
 // external plotting: app, label, model, arch, window, the six breakdown
-// sections, total, and the normalized percentage.
+// sections, total, and the normalized percentage. Failed cells are omitted
+// — a partial sweep's CSV holds only real measurements; the failures are
+// reported by the accompanying *PartialError and the run ledger.
 func ColumnsCSV(acs []AppColumns) string {
 	var sb strings.Builder
 	sb.WriteString("app,config,model,arch,window,busy,sync,read,write,branch,other,total,normalized_pct\n")
 	for _, ac := range acs {
 		for _, c := range ac.Cols {
+			if c.Failed {
+				continue
+			}
 			b := c.Breakdown
 			fmt.Fprintf(&sb, "%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%.2f\n",
 				ac.App, c.Label, c.Model, c.Arch, c.Window,

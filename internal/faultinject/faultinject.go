@@ -1,0 +1,177 @@
+// Package faultinject is the deterministic fault-injection harness behind
+// the robustness tests: it lets a test arm panics, errors, artificial
+// slowness, and byte corruption at named sites inside the experiment
+// pipeline, then assert that the surrounding layers contain the failure —
+// a panicking cell must not crash the sweep, a slow cell must be cut off by
+// the caller's context, and corrupted artifact bytes must be rejected by
+// checksums rather than silently deserialized.
+//
+// Injection is fully deterministic: a fault fires on exactly the first
+// Times calls to Fire for its site (no randomness, no time dependence), and
+// CorruptByte flips a byte chosen by an FNV hash of the site name, so every
+// run of a fault-injection test exercises the identical failure.
+//
+// A nil *Injector is inert and every hook is nil-safe, so production code
+// paths carry injection sites at the cost of a nil check.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Kind selects what happens when an armed fault fires.
+type Kind int
+
+const (
+	// KindError makes Fire return an *InjectedError.
+	KindError Kind = iota
+	// KindPanic makes Fire panic with an *InjectedError.
+	KindPanic
+	// KindSlow makes Fire sleep for the fault's Delay, then return nil —
+	// the "livelocked cell" simulation used by timeout and watchdog tests.
+	KindSlow
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindSlow:
+		return "slow"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// InjectedError is the error (or panic value) produced by a fired fault.
+// Tests unwrap to it with errors.As to prove a failure travelled through the
+// pipeline's containment layers intact.
+type InjectedError struct {
+	Site string
+	Kind Kind
+	N    int // 1-based count of firings at this site
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at %q (firing %d)", e.Kind, e.Site, e.N)
+}
+
+// Fault arms one failure mode at a site.
+type Fault struct {
+	Kind Kind
+	// Times is how many Fire calls trigger the fault before it disarms;
+	// 0 means 1 (fire once).
+	Times int
+	// Delay is the sleep duration for KindSlow faults.
+	Delay time.Duration
+}
+
+type armed struct {
+	fault Fault
+	fired int // total Fire calls that triggered
+	seen  int // total Fire calls, triggered or not
+}
+
+// Injector holds the armed faults of one test. The zero value and nil are
+// both usable (no faults armed).
+type Injector struct {
+	mu    sync.Mutex
+	sites map[string]*armed
+}
+
+// New returns an empty injector.
+func New() *Injector { return &Injector{} }
+
+// Arm installs f at site, replacing any previous fault there.
+func (in *Injector) Arm(site string, f Fault) {
+	if f.Times == 0 {
+		f.Times = 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.sites == nil {
+		in.sites = make(map[string]*armed)
+	}
+	in.sites[site] = &armed{fault: f}
+}
+
+// Fire triggers the fault armed at site, if any: it panics, returns an
+// error, or sleeps according to the fault's Kind. Once a fault has fired
+// Times times it disarms and Fire returns nil. Nil-safe.
+func (in *Injector) Fire(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	a := in.sites[site]
+	if a == nil {
+		in.mu.Unlock()
+		return nil
+	}
+	a.seen++
+	if a.fired >= a.fault.Times {
+		in.mu.Unlock()
+		return nil
+	}
+	a.fired++
+	err := &InjectedError{Site: site, Kind: a.fault.Kind, N: a.fired}
+	delay := a.fault.Delay
+	in.mu.Unlock()
+
+	switch err.Kind {
+	case KindPanic:
+		panic(err)
+	case KindSlow:
+		time.Sleep(delay)
+		return nil
+	}
+	return err
+}
+
+// Fired reports how many times the fault at site has triggered. Nil-safe.
+func (in *Injector) Fired(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if a := in.sites[site]; a != nil {
+		return a.fired
+	}
+	return 0
+}
+
+// Seen reports how many times Fire was called for site (whether or not the
+// fault still triggered). Nil-safe.
+func (in *Injector) Seen(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if a := in.sites[site]; a != nil {
+		return a.seen
+	}
+	return 0
+}
+
+// CorruptByte deterministically flips one bit of b in place and returns the
+// affected offset: the byte index and bit are chosen by an FNV-64a hash of
+// site, so the same site name always corrupts the same position of an
+// equally sized buffer. It returns -1 (and leaves b untouched) when b is
+// empty.
+func CorruptByte(site string, b []byte) int {
+	if len(b) == 0 {
+		return -1
+	}
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	sum := h.Sum64()
+	off := int(sum % uint64(len(b)))
+	b[off] ^= 1 << (sum >> 8 & 7)
+	return off
+}

@@ -1,11 +1,55 @@
 package obs
 
-// File-writing conveniences shared by the command-line front ends.
+// File-writing conveniences shared by the command-line front ends. All of
+// them write crash-safely: content goes to a temp file in the destination
+// directory first and is renamed into place only after a successful close,
+// so a crash or SIGKILL mid-write can never leave a half-written artifact
+// under the requested name — readers see either the old file or the new
+// one, never a torn hybrid.
 
 import (
+	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 )
+
+// WriteFileAtomic writes the output of write to path via a temp file and
+// rename. On any error the temp file is removed and path is left untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("obs: atomic write %s: %w", path, err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("obs: atomic write %s: %w", path, err)
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	// Sync before rename: otherwise a crash shortly after could surface the
+	// new name with unflushed (empty or partial) content on some filesystems.
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: atomic write %s: %w", path, err)
+	}
+	return nil
+}
 
 // WriteMetricsFile writes reg's JSON snapshot to path. A nil registry writes
 // an empty snapshot, so callers need not special-case disabled metrics.
@@ -13,33 +57,17 @@ func WriteMetricsFile(reg *Registry, path string) error {
 	if reg == nil {
 		reg = NewRegistry()
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := reg.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return WriteFileAtomic(path, reg.WriteJSON)
 }
 
 // WritePipeTraceFile writes p's pipeline trace to path, choosing the format
 // by extension: ".json" emits Chrome trace-event JSON (Perfetto,
 // chrome://tracing); anything else emits a Konata (kanata 0004) log.
 func WritePipeTraceFile(p *PipeTracer, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if strings.HasSuffix(path, ".json") {
-		err = p.WriteChromeTrace(f)
-	} else {
-		err = p.WriteKonata(f)
-	}
-	if err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".json") {
+			return p.WriteChromeTrace(w)
+		}
+		return p.WriteKonata(w)
+	})
 }

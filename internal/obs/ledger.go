@@ -10,7 +10,6 @@ package obs
 // drift across commits detectable without storing full snapshots.
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -63,6 +62,12 @@ type LedgerRecord struct {
 	Apps        map[string]LedgerApp  `json:"apps,omitempty"`
 	Cells       map[string]LedgerCell `json:"cells,omitempty"`
 	MetricsFNV  string                `json:"metrics_fnv"`
+	// Interrupted marks a run cut short by SIGINT/SIGTERM or -timeout; its
+	// figures cover only the cells that finished before cancellation.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// FailedCells lists the labels of cells that exhausted their retries
+	// (panic or error); the record's Cells map holds only the survivors.
+	FailedCells []string `json:"failed_cells,omitempty"`
 }
 
 // NewRunID derives a human-sortable, collision-resistant run id from the
@@ -199,7 +204,10 @@ func extractCells(s Snapshot) map[string]LedgerCell {
 }
 
 // AppendLedger appends rec as one JSON line to the ledger at path, creating
-// the file if needed.
+// the file if needed. The record (including its trailing newline) goes out
+// in a single O_APPEND write, so concurrent appenders cannot interleave
+// within a record and a crash can tear at most the final line — which
+// ReadLedger detects and drops.
 func AppendLedger(path string, rec LedgerRecord) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -217,28 +225,32 @@ func AppendLedger(path string, rec LedgerRecord) error {
 }
 
 // ReadLedger parses every record of a JSON-Lines ledger, oldest first.
+//
+// A torn tail — a final line with no trailing newline that fails to parse,
+// the signature of a writer killed mid-append — is dropped silently, since
+// every complete record before it is intact. Unparsable records anywhere
+// else are real corruption and return an error.
 func ReadLedger(path string) ([]LedgerRecord, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("obs: ledger: %w", err)
 	}
-	defer f.Close()
+	endsWithNewline := len(data) > 0 && data[len(data)-1] == '\n'
+	lines := strings.Split(string(data), "\n")
 	var recs []LedgerRecord
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	for i, raw := range lines {
+		line := strings.TrimSpace(raw)
 		if line == "" {
 			continue
 		}
 		var rec LedgerRecord
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			if i == len(lines)-1 && !endsWithNewline {
+				break // torn tail from an interrupted append: drop it
+			}
 			return nil, fmt.Errorf("obs: ledger %s record %d: %w", path, len(recs)+1, err)
 		}
 		recs = append(recs, rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: ledger: %w", err)
 	}
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("obs: ledger %s holds no records", path)

@@ -16,6 +16,7 @@ package obs
 // status — so the command-line front ends wire up whatever the run has.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -123,10 +124,25 @@ func StartServer(addr string, st ServerState) (*Server, error) {
 	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
 }
 
-// Close immediately shuts the server down.
+// Close immediately shuts the server down, dropping in-flight requests.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight requests (a /metrics scrape, a pprof download) run to completion,
+// and ctx bounds the wait — on expiry the remaining connections are dropped
+// as with Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.srv.Close()
+		return err
+	}
+	return nil
 }

@@ -16,8 +16,10 @@
 package tango
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strings"
 
 	"dynsched/internal/asm"
 	"dynsched/internal/isa"
@@ -46,6 +48,14 @@ type Config struct {
 	// MaxInstrs bounds per-processor dynamic instructions (0 = 2^40); it
 	// guards against runaway application bugs, not normal execution.
 	MaxInstrs uint64
+	// MaxCycles bounds simulated machine time (0 = unbounded). A program
+	// that spins past it is killed with a *MachineError carrying a
+	// machine-state dump, the multiprocessor counterpart of the replay
+	// watchdog in package cpu.
+	MaxCycles uint64
+	// Ctx cancels a long simulation cooperatively: the scheduler loop polls
+	// it every few thousand instructions. nil means never cancel.
+	Ctx context.Context
 
 	// Metrics, when non-nil, receives the machine-level counters after the
 	// run: per-CPU cache miss/upgrade/invalidation counts, synchronization
@@ -311,19 +321,29 @@ func (s *sim) loop() error {
 			}
 		}
 		if next == nil {
-			return s.deadlockError()
-		}
-		if next.th.Executed >= s.cfg.MaxInstrs {
-			return fmt.Errorf("tango: cpu %d exceeded %d instructions (runaway program?)", next.id, s.cfg.MaxInstrs)
+			return s.machineError("deadlock", 0,
+				"%d processors blocked with no pending wakeup", s.blockedCount())
 		}
 		now := next.readyAt
+		if next.th.Executed >= s.cfg.MaxInstrs {
+			return s.machineError("runaway", now,
+				"cpu %d exceeded %d instructions (runaway program?)", next.id, s.cfg.MaxInstrs)
+		}
+		if s.cfg.MaxCycles > 0 && now > s.cfg.MaxCycles {
+			return s.machineError("cycle budget", now,
+				"simulated time passed %d cycles with %d processors still running (livelocked program?)",
+				s.cfg.MaxCycles, running)
+		}
 		halted, err := s.step(next)
 		if err != nil {
 			return err
 		}
-		if s.cfg.Progress != nil {
-			s.steps++
-			if s.steps&(obs.PublishEvery-1) == 0 {
+		s.steps++
+		if s.steps&(obs.PublishEvery-1) == 0 {
+			if err := s.ctxErr(); err != nil {
+				return fmt.Errorf("tango: simulation canceled at cycle %d: %w", now, err)
+			}
+			if s.cfg.Progress != nil {
 				s.publishProgress(now)
 			}
 		}
@@ -334,14 +354,85 @@ func (s *sim) loop() error {
 	return nil
 }
 
-func (s *sim) deadlockError() error {
+// ctxErr polls the cancellation context without blocking.
+func (s *sim) ctxErr() error {
+	if s.cfg.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-s.cfg.Ctx.Done():
+		return s.cfg.Ctx.Err()
+	default:
+		return nil
+	}
+}
+
+func (s *sim) blockedCount() int {
 	blocked := 0
 	for _, p := range s.procs {
 		if !p.halted {
 			blocked++
 		}
 	}
-	return fmt.Errorf("tango: deadlock — %d processors blocked with no pending wakeup", blocked)
+	return blocked
+}
+
+// MachineError reports a simulation killed by the scheduler — deadlock,
+// runaway instruction count, or the cycle budget — with a machine-state
+// dump. It is permanent: the simulation is deterministic, so a retry would
+// fail identically.
+type MachineError struct {
+	Reason string // "deadlock", "runaway", "cycle budget"
+	Cycle  uint64 // global time when the error fired (0 for deadlock)
+	Detail string
+	State  string // per-processor machine-state dump
+}
+
+func (e *MachineError) Error() string {
+	return fmt.Sprintf("tango: %s — %s; machine state: %s", e.Reason, e.Detail, e.State)
+}
+
+// Permanent marks the error as not worth retrying (see exp's retry policy).
+func (e *MachineError) Permanent() bool { return true }
+
+func (s *sim) machineError(reason string, cycle uint64, format string, args ...any) error {
+	return &MachineError{
+		Reason: reason,
+		Cycle:  cycle,
+		Detail: fmt.Sprintf(format, args...),
+		State:  s.machineState(),
+	}
+}
+
+// machineState renders a compact per-processor dump for diagnostics: where
+// each processor is (pc), how far it got (instructions), and whether it is
+// running, blocked on synchronization, or halted.
+func (s *sim) machineState() string {
+	var b strings.Builder
+	for i, p := range s.procs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case p.halted:
+			fmt.Fprintf(&b, "cpu%d halted@%d after %d instrs", p.id, p.stats.FinishCycle, p.stats.Instructions)
+		case p.readyAt == unblocked:
+			fmt.Fprintf(&b, "cpu%d blocked since %d at pc %d (%d instrs)",
+				p.id, p.blockedAt, p.th.PC, p.stats.Instructions)
+		default:
+			fmt.Fprintf(&b, "cpu%d ready@%d at pc %d (%d instrs)",
+				p.id, p.readyAt, p.th.PC, p.stats.Instructions)
+		}
+	}
+	locks, waiters := 0, 0
+	for _, l := range s.locks {
+		if l.held {
+			locks++
+		}
+		waiters += len(l.waiters)
+	}
+	fmt.Fprintf(&b, "; locks held=%d lock-waiters=%d", locks, waiters)
+	return b.String()
 }
 
 // record appends a trace event for p's trace (if recorded) and returns its

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadTrace throws arbitrary bytes at the deserializer. ReadTrace must
+// never panic or allocate unboundedly, and anything it accepts must be a
+// valid trace that survives a re-serialization round trip.
+func FuzzReadTrace(f *testing.F) {
+	// Seed corpus: a valid v2 trace, its legacy v1 form, truncations at
+	// every structural boundary, a bit flip in the payload, a corrupted
+	// footer, a bogus magic, and a header claiming 2^34 events.
+	var buf bytes.Buffer
+	if _, err := miniTrace().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+
+	legacy := append([]byte(nil), valid[:len(valid)-footerSize]...)
+	binary.LittleEndian.PutUint32(legacy[4:8], legacyVersion)
+	f.Add(legacy)
+
+	for _, cut := range []int{0, 3, 10, 24, 30, 36, len(valid) - footerSize, len(valid) - 1} {
+		f.Add(append([]byte(nil), valid[:cut]...))
+	}
+
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	badFoot := append([]byte(nil), valid...)
+	badFoot[len(badFoot)-1] ^= 0xFF
+	f.Add(badFoot)
+
+	f.Add([]byte("NOPE0000000000000000000000000000"))
+
+	huge := append([]byte(nil), valid[:24+len("mini")]...)
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], 1<<34)
+	huge = append(huge, cnt[:]...)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted traces must be internally consistent and round-trip.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadTrace accepted an invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if _, err := tr.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialization failed: %v", err)
+		}
+		if _, err := ReadTrace(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-serialized trace rejected: %v", err)
+		}
+	})
+}

@@ -8,20 +8,27 @@ package trace
 // Format (little endian):
 //
 //	magic   "DSTR"                      4 bytes
-//	version uint32                      currently 1
+//	version uint32                      currently 2
 //	cpu, numCPUs, missPenalty uint32    12 bytes
 //	appLen  uint32, app bytes           variable
 //	count   uint64                      number of events
 //	events  count × 40-byte records
+//	footer  "DSCR" + crc32 uint32       8 bytes (version ≥ 2 only)
 //
 // Each event record: PC int32, NextPC int32, Op uint8, Dst uint8,
 // Src1 uint8, Src2 uint8, flags uint8 (bit0 miss, bit1 taken), 3 pad
 // bytes, Imm int64, Addr uint64, Latency uint32, Wait uint32.
+//
+// Version 2 appends a footer carrying a CRC32-IEEE checksum of every
+// preceding byte, so a truncated or bit-flipped file is rejected instead of
+// replayed as garbage. Version 1 is the identical layout without the
+// footer; ReadTrace still accepts it (no integrity check possible).
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"dynsched/internal/isa"
@@ -29,10 +36,21 @@ import (
 
 var traceMagic = [4]byte{'D', 'S', 'T', 'R'}
 
-// formatVersion is bumped whenever the on-disk layout changes.
-const formatVersion = 1
+// formatVersion is bumped whenever the on-disk layout changes. Version 2
+// added the CRC32 footer.
+const formatVersion = 2
+
+// legacyVersion is the oldest version ReadTrace still accepts: the same
+// record layout as version 2, but without the integrity footer.
+const legacyVersion = 1
 
 const eventSize = 40
+
+// footerMagic guards the CRC32 footer of version-2 traces; it doubles as a
+// cheap truncation detector before the checksum is even compared.
+var footerMagic = [4]byte{'D', 'S', 'C', 'R'}
+
+const footerSize = 8
 
 // recBatch is how many event records are encoded or decoded per buffer
 // operation; paper-scale traces have millions of events, so batching keeps
@@ -47,10 +65,12 @@ const (
 // WriteTo serializes the trace. It returns the number of bytes written.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
+	sum := crc32.NewIEEE()
 	var n int64
 	put := func(b []byte) error {
 		m, err := bw.Write(b)
 		n += int64(m)
+		sum.Write(b[:m])
 		return err
 	}
 	var hdr [24]byte
@@ -104,21 +124,36 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
+	var foot [footerSize]byte
+	copy(foot[0:4], footerMagic[:])
+	binary.LittleEndian.PutUint32(foot[4:8], sum.Sum32())
+	m, err := bw.Write(foot[:])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
 	return n, bw.Flush()
 }
 
-// ReadTrace deserializes a trace written by WriteTo and validates it.
+// ReadTrace deserializes a trace written by WriteTo and validates it. It
+// accepts the current CRC32-footered format (version 2) and the legacy
+// footerless version 1; version-2 traces whose checksum does not match the
+// payload — truncation, bit flips, torn writes — are rejected.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+	sum := crc32.NewIEEE()
 	var hdr [24]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: short header: %w", err)
 	}
+	sum.Write(hdr[:])
 	if [4]byte(hdr[0:4]) != traceMagic {
 		return nil, fmt.Errorf("trace: bad magic %q", hdr[0:4])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != formatVersion {
-		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", v, formatVersion)
+	version := binary.LittleEndian.Uint32(hdr[4:8])
+	if version != formatVersion && version != legacyVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (want %d or %d)",
+			version, legacyVersion, formatVersion)
 	}
 	t := &Trace{
 		CPU:         int(binary.LittleEndian.Uint32(hdr[8:12])),
@@ -133,17 +168,27 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if _, err := io.ReadFull(br, app); err != nil {
 		return nil, fmt.Errorf("trace: short app name: %w", err)
 	}
+	sum.Write(app)
 	t.App = string(app)
 	var cnt [8]byte
 	if _, err := io.ReadFull(br, cnt[:]); err != nil {
 		return nil, fmt.Errorf("trace: short count: %w", err)
 	}
+	sum.Write(cnt[:])
 	count := binary.LittleEndian.Uint64(cnt[:])
 	if count > 1<<34 {
 		return nil, fmt.Errorf("trace: implausible event count %d", count)
 	}
-	t.Events = make([]Event, count)
+	// Grow Events as batches are actually read rather than trusting the
+	// declared count up front: a corrupted header claiming 2^34 events must
+	// not allocate hundreds of gigabytes before the short read is noticed.
+	cap0 := count
+	if cap0 > recBatch {
+		cap0 = recBatch
+	}
+	t.Events = make([]Event, 0, cap0)
 	buf := make([]byte, recBatch*eventSize)
+	var batch [recBatch]Event
 	for base := uint64(0); base < count; base += recBatch {
 		nrec := count - base
 		if nrec > recBatch {
@@ -152,14 +197,15 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		if _, err := io.ReadFull(br, buf[:nrec*eventSize]); err != nil {
 			return nil, fmt.Errorf("trace: short event %d: %w", base, err)
 		}
-		for i := base; i < base+nrec; i++ {
-			rec := buf[(i-base)*eventSize:][:eventSize]
-			e := &t.Events[i]
+		sum.Write(buf[:nrec*eventSize])
+		for i := uint64(0); i < nrec; i++ {
+			rec := buf[i*eventSize:][:eventSize]
+			e := &batch[i]
 			e.PC = int32(binary.LittleEndian.Uint32(rec[0:4]))
 			e.NextPC = int32(binary.LittleEndian.Uint32(rec[4:8]))
 			e.Instr.Op = isa.Op(rec[8])
 			if !e.Instr.Op.Valid() {
-				return nil, fmt.Errorf("trace: event %d has invalid opcode %d", i, rec[8])
+				return nil, fmt.Errorf("trace: event %d has invalid opcode %d", base+i, rec[8])
 			}
 			e.Instr.Dst = rec[9]
 			e.Instr.Src1 = rec[10]
@@ -170,6 +216,20 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			e.Addr = binary.LittleEndian.Uint64(rec[24:32])
 			e.Latency = binary.LittleEndian.Uint32(rec[32:36])
 			e.Wait = binary.LittleEndian.Uint32(rec[36:40])
+		}
+		t.Events = append(t.Events, batch[:nrec]...)
+	}
+	if version >= formatVersion {
+		var foot [footerSize]byte
+		if _, err := io.ReadFull(br, foot[:]); err != nil {
+			return nil, fmt.Errorf("trace: short CRC footer: %w", err)
+		}
+		if [4]byte(foot[0:4]) != footerMagic {
+			return nil, fmt.Errorf("trace: bad CRC footer magic %q", foot[0:4])
+		}
+		want := binary.LittleEndian.Uint32(foot[4:8])
+		if got := sum.Sum32(); got != want {
+			return nil, fmt.Errorf("trace: CRC mismatch: computed %08x, footer says %08x (corrupted or torn file)", got, want)
 		}
 	}
 	if err := t.Validate(); err != nil {
