@@ -218,6 +218,61 @@ func BenchmarkIssue4(b *testing.B) {
 	}
 }
 
+// BenchmarkTango16 measures the 16-processor execution-driven simulation
+// (package tango) generating one application trace end to end — the hot
+// loop behind every trace the harness consumes, and the beneficiary of the
+// ready-heap scheduler that replaced the per-step linear processor scan.
+func BenchmarkTango16(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opts := exp.DefaultOptions()
+		opts.Scale = apps.ScaleSmall
+		opts.NumCPUs = 16
+		opts.Apps = []string{"mp3d"}
+		e := exp.New(opts)
+		run, err := e.Run("mp3d")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(run.Trace.Len()), "instrs")
+	}
+}
+
+// BenchmarkHighLatencySweep measures a DS window-64 RC replay at rising
+// miss penalties, with the event-driven time skip on (the default) and
+// forced off. The skip's payoff grows with the penalty: the longer each
+// memory stall, the more quiet cycles the replay jumps over in bulk, so
+// the skip arm's cost tracks the event count while the noskip arm's cost
+// tracks simulated cycles.
+func BenchmarkHighLatencySweep(b *testing.B) {
+	b.ReportAllocs()
+	for _, penalty := range []uint32{50, 200, 1000} {
+		opts := exp.DefaultOptions()
+		opts.Scale = apps.ScaleSmall
+		opts.MissPenalty = penalty
+		opts.Apps = []string{"ocean"}
+		e := exp.New(opts)
+		run, err := e.Run("ocean")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name   string
+			noskip bool
+		}{{"skip", false}, {"noskip", true}} {
+			b.Run(fmt.Sprintf("lat%d/%s", penalty, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := cpu.Config{Model: consistency.RC, Window: 64, NoTimeSkip: mode.noskip}
+				for i := 0; i < b.N; i++ {
+					if _, err := cpu.RunDS(run.Trace, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkProcessorModels measures each timing model replaying the same
 // trace — the cost of one Figure 3 bar.
 func BenchmarkProcessorModels(b *testing.B) {

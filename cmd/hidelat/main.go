@@ -106,6 +106,7 @@ func run(args []string) error {
 	appList := fs.String("apps", "", "comma-separated applications (default: all five)")
 	workers := fs.Int("j", 0, "worker goroutines for experiment fan-out (0 = GOMAXPROCS)")
 	retries := fs.Int("retries", 0, "extra attempts a failed replay cell gets before it is marked failed")
+	noskip := fs.Bool("noskip", false, "disable event-driven time skipping in the processor replays (results are identical; for diagnosis and equivalence testing)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	csvOut := fs.Bool("csv", false, "emit figure data as CSV (fig3, fig4, latency100, issue4, wo, scpf)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
@@ -184,6 +185,7 @@ func run(args []string) error {
 		TraceCPU:    *traceCPU,
 		Workers:     *workers,
 		Retries:     *retries,
+		NoTimeSkip:  *noskip,
 		Ctx:         ctx,
 	}
 	if *appList != "" {

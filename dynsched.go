@@ -57,7 +57,7 @@ import (
 
 // Version identifies the dynsched build; the command-line tools report it
 // via their -version flags.
-const Version = "0.5.0"
+const Version = "0.6.0"
 
 // Consistency models (§2.1 of the paper).
 const (
@@ -271,6 +271,10 @@ type ProcessorConfig struct {
 	// which a stalled replay is killed with a *WatchdogError (0 = the
 	// generous cpu.DefaultWatchdogBudget).
 	WatchdogBudget uint64
+	// NoTimeSkip forces pure cycle-by-cycle stepping, disabling the
+	// event-driven time-skip optimization. The replay is slower but
+	// produces byte-identical results; see cpu.Config.NoTimeSkip.
+	NoTimeSkip bool
 }
 
 // Run replays tr through the configured processor model.
@@ -296,6 +300,7 @@ func Run(tr *Trace, pc ProcessorConfig) (Result, error) {
 		Progress:       lane,
 		Ctx:            pc.Ctx,
 		WatchdogBudget: pc.WatchdogBudget,
+		NoTimeSkip:     pc.NoTimeSkip,
 	}
 	if pc.PerfectBranches {
 		cfg.Predictor = bpred.Perfect{}

@@ -200,6 +200,18 @@ type Config struct {
 	// other's rows (obtain one via Progress.Lane).
 	Progress *obs.Lane
 
+	// NoTimeSkip forces the cycle-stepped simulation path. By default the
+	// replay loops are event-driven: when a cycle completes nothing, accepts
+	// nothing, issues nothing, and charges exactly one stall cycle, the
+	// machine state is a fixed point until the next scheduled event
+	// (a miss completion, an acquire's contention wall, a prefetch-decay
+	// threshold), so simulated time jumps there directly and the skipped
+	// stall cycles are charged in bulk. The two paths are byte-identical in
+	// every Result field, stall category, and histogram; NoTimeSkip exists
+	// as the escape hatch that proves it (see TestSkipEquivalence) and as a
+	// debugging aid when stepping through individual cycles.
+	NoTimeSkip bool
+
 	// Robustness controls.
 
 	// Ctx cancels a long replay cooperatively: the simulation loops poll it

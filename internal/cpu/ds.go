@@ -169,6 +169,41 @@ func (h *seqHeap) pop() int {
 	return top
 }
 
+// stallStack is the LIFO of charged stall categories used for burst credit,
+// run-length encoded: a stretch of identical charges is one run. The
+// encoding is what lets the time-skip path push a whole quiet stretch in
+// O(1) without the stack growing with simulated time, while popping remains
+// strictly one charged cycle at a time — the pop order is identical to a
+// flat per-cycle stack, so the credited categories match the cycle-stepped
+// accounting exactly.
+type stallRun struct {
+	cat uint8
+	n   uint64
+}
+
+type stallStack []stallRun
+
+// pushN records n consecutive stall cycles of category cat.
+func (s *stallStack) pushN(cat uint8, n uint64) {
+	if l := len(*s); l > 0 && (*s)[l-1].cat == cat {
+		(*s)[l-1].n += n
+		return
+	}
+	*s = append(*s, stallRun{cat: cat, n: n})
+}
+
+// pop removes and returns the most recently charged cycle's category.
+// The caller must check len(*s) > 0 first.
+func (s *stallStack) pop() uint8 {
+	l := len(*s)
+	c := (*s)[l-1].cat
+	(*s)[l-1].n--
+	if (*s)[l-1].n == 0 {
+		*s = (*s)[:l-1]
+	}
+	return c
+}
+
 const maxDSCycles = uint64(1) << 40
 
 // RunDS replays tr through the dynamically scheduled processor.
@@ -284,11 +319,31 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 		return s
 	}
 
+	// Event-driven time-skip: when a fully executed cycle is a fixed point —
+	// no completion, no retirement, no dispatch, an idle cache port, no
+	// decode, exactly one stall charge — every cycle until the next scheduled
+	// event behaves identically, so simulated time jumps straight there and
+	// the skipped stall cycles are charged in bulk. The accounting below is
+	// byte-identical to stepping: same stall categories, same stall-stack
+	// contents (run-length encoded), same occupancy sums and histogram
+	// observations.
+	var (
+		skip   = !cfg.NoTimeSkip
+		iter   uint64 // loop iterations (not cycles): the poll cadence
+		jumped bool   // last iteration time-skipped; poll on landing
+	)
+
 	for idx < len(events) || headSeq < nextSeq || memLive > 0 {
 		if t >= maxDSCycles {
 			return Result{}, fmt.Errorf("cpu: DS simulation exceeded %d cycles (stuck?)", maxDSCycles)
 		}
-		if t&(watchdogStride-1) == 0 {
+		// Polls are strided by loop iteration, not by cycle mask: time-skip
+		// jumps land on arbitrary cycle values, so a cycle-masked check could
+		// be jumped over indefinitely. A jump landing is polled immediately —
+		// a skip that crossed the no-progress budget must fire the watchdog
+		// now, not a stride later.
+		if iter&(watchdogStride-1) == 0 || jumped {
+			jumped = false
 			if err := ctxErr(cfg.Ctx); err != nil {
 				return Result{}, fmt.Errorf("cpu: DS replay canceled at cycle %d: %w", t, err)
 			}
@@ -296,9 +351,13 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 				return Result{}, err
 			}
 		}
+		iter++
+		prevIdx := idx
 
 		// Phase 1: completions scheduled for this cycle.
+		popped := false
 		for len(evq) > 0 && evq[0].at <= t {
+			popped = true
 			e := evq.pop()
 			switch e.kind {
 			case evDone:
@@ -415,6 +474,7 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 		// the most recent stall cycles actually overlapped useful buffered
 		// work, so those cycles are reclassified as busy (popped). This
 		// keeps the busy section equal to the useful cycles, as in Figure 3.
+		stallCat := catOther // category charged this cycle (valid when retired == 0)
 		if retired == 0 {
 			c := catOther
 			if headSeq < nextSeq {
@@ -457,7 +517,8 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 				c = catWrite // draining the store buffer at the end
 			}
 			cat[c]++
-			stallStack = append(stallStack, c)
+			stallStack.pushN(c, 1)
+			stallCat = c
 		} else if retired > cfg.IssueWidth {
 			// A cycle that retires more than the issue width proves that
 			// earlier stall cycles overlapped useful buffered work; credit
@@ -465,9 +526,7 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 			// retirements = one cycle of useful work).
 			credit += retired - cfg.IssueWidth
 			for credit >= cfg.IssueWidth && len(stallStack) > 0 {
-				c := stallStack[len(stallStack)-1]
-				stallStack = stallStack[:len(stallStack)-1]
-				cat[c]--
+				cat[stallStack.pop()]--
 				credit -= cfg.IssueWidth
 			}
 		}
@@ -483,6 +542,7 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 		}
 
 		// Phase 3: dispatch up to IssueWidth ready instructions to FUs.
+		dispatched := false
 		for n := 0; n < cfg.IssueWidth && len(dispatch) > 0; n++ {
 			s := dispatch.pop()
 			en := at(s)
@@ -492,11 +552,12 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 			}
 			en.dispatched = true
 			en.issuedAt = t
+			dispatched = true
 			evq.push(dsEvent{at: t + 1, kind: evDone, seq: s})
 		}
 
 		// Phase 4: the cache port issues at most one memory access.
-		issueMem(memq, t, cfg, &evq, &outMiss, hist, delayHist, &prefetches)
+		memActive := issueMem(memq, t, cfg, &evq, &outMiss, hist, delayHist, &prefetches)
 
 		// Compact the memory queue when mostly dead.
 		if len(memq) > 2*memLive+32 {
@@ -589,6 +650,64 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 			idx++
 		}
 
+		// Time-skip: this cycle was a fixed point iff nothing above mutated
+		// machine state beyond the single stall charge. If so, find the next
+		// cycle at which anything can change and jump there, charging the
+		// quiet stretch in bulk. With no scheduled event the machine is
+		// genuinely livelocked: fall through to single-cycle stepping so the
+		// watchdog measures the stagnation and kills the replay.
+		if skip && retired == 0 && !popped && !dispatched && !memActive && idx == prevIdx {
+			next := ^uint64(0)
+			if len(evq) > 0 {
+				next = evq[0].at // earliest FU completion or memory perform
+			}
+			if headSeq < nextSeq {
+				// A performed acquire at the ROB head retires only once its
+				// contention wall headAt+W has elapsed — a purely
+				// time-triggered transition.
+				if h := at(headSeq); h.class == isa.ClassSync && isAcquireClass(h.ev.Instr.Op) &&
+					h.mop.performed {
+					if w := h.headAt + uint64(h.mop.wait); w > t && w < next {
+						next = w
+					}
+				}
+			}
+			if cfg.Prefetch && cfg.MSHRs > 0 {
+				// A prefetched access blocked on exhausted MSHRs becomes
+				// issuable when its in-flight prefetch decays the remaining
+				// latency to 1, which bypasses the MSHR gate: at
+				// prefetchedAt+latency-1.
+				for _, m := range memq {
+					if m.prefetched && !m.issued && !m.performed && m.latency > 1 {
+						if th := m.prefetchedAt + uint64(m.latency) - 1; th > t && th < next {
+							next = th
+						}
+					}
+				}
+			}
+			if next != ^uint64(0) && next > maxDSCycles {
+				next = maxDSCycles // the absolute guard fires at the same cycle as stepping
+			}
+			if next != ^uint64(0) && next > t+1 {
+				delta := next - t - 1 // quiet cycles t+1 .. next-1
+				cat[stallCat] += delta
+				stallStack.pushN(stallCat, delta)
+				occ := uint64(nextSeq - headSeq)
+				occupancySum += occ * delta
+				if cfg.Metrics != nil {
+					robHist.ObserveN(occ, delta)
+					sbHist.ObserveN(uint64(sbCount), delta)
+					mshrHist.ObserveN(uint64(outMiss), delta)
+				}
+				if cfg.Progress != nil && t/obs.PublishEvery != next/obs.PublishEvery {
+					cfg.Progress.Publish(uint64(headSeq), next)
+				}
+				t = next
+				jumped = true
+				continue
+			}
+		}
+
 		t++
 	}
 
@@ -648,8 +767,10 @@ func makeReady(e *dsEntry, dispatch *seqHeap) {
 // order, accumulating the consistency summary of older unperformed
 // accesses, and issue the first access that is ready and permitted. With
 // prefetching enabled, an otherwise idle port issues a non-binding prefetch
-// for the oldest consistency-blocked miss instead.
-func issueMem(memq []*memOp, t uint64, cfg Config, evq *eventHeap, outMiss *int, hist *DelayHistogram, delayHist *obs.HistogramBatch, prefetches *uint64) {
+// for the oldest consistency-blocked miss instead. It reports whether it
+// changed machine state (issued an access or started a prefetch) — an idle
+// port is one of the conditions for a cycle to be a time-skip fixed point.
+func issueMem(memq []*memOp, t uint64, cfg Config, evq *eventHeap, outMiss *int, hist *DelayHistogram, delayHist *obs.HistogramBatch, prefetches *uint64) bool {
 	var pend consistency.Pending
 	var pfCand *memOp
 	for i, m := range memq {
@@ -695,7 +816,7 @@ func issueMem(memq []*memOp, t uint64, cfg Config, evq *eventHeap, outMiss *int,
 				}
 				m.performAt = t + lat
 				evq.push(dsEvent{at: m.performAt, kind: evPerform, seq: m.seq})
-				return
+				return true
 			}
 			if cfg.Prefetch && pfCand == nil && m.miss && !m.prefetched {
 				pfCand = m // oldest ready access blocked purely by consistency
@@ -709,7 +830,9 @@ func issueMem(memq []*memOp, t uint64, cfg Config, evq *eventHeap, outMiss *int,
 		pfCand.prefetched = true
 		pfCand.prefetchedAt = t
 		*prefetches++
+		return true
 	}
+	return false
 }
 
 // oldestPendingCategory classifies the oldest unperformed access in the

@@ -64,7 +64,7 @@ type dsScratch struct {
 	evq        eventHeap
 	dispatch   seqHeap
 	memq       []*memOp
-	stallStack []uint8
+	stallStack stallStack
 	arena      opArena
 }
 

@@ -232,8 +232,24 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		return s
 	}
 
+	// Event-driven time-skip: a cycle that completes nothing, accepts
+	// nothing, issues nothing, and leaves the blocking pointers untouched is
+	// a fixed point of the machine — every following cycle charges the same
+	// single stall category until the next scheduled event (the earliest
+	// in-flight completion, or a completed acquire's wall). Jump simulated
+	// time there directly and charge the stretch in bulk; the accounting is
+	// byte-identical to stepping every cycle.
+	var (
+		skip   = !cfg.NoTimeSkip
+		iter   uint64 // loop iterations (not cycles): the poll cadence
+		jumped bool   // last iteration time-skipped; poll on landing
+	)
+
 	for idx < len(events) || len(win.ops) > 0 {
-		if t&(watchdogStride-1) == 0 {
+		// Iteration-strided polls (plus one at every jump landing): a
+		// cycle-masked check could be jumped over by time-skip.
+		if iter&(watchdogStride-1) == 0 || jumped {
+			jumped = false
 			if err := ctxErr(cfg.Ctx); err != nil {
 				return Result{}, fmt.Errorf("cpu: %s replay canceled at cycle %d: %w", model, t, err)
 			}
@@ -241,8 +257,11 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 				return Result{}, err
 			}
 		}
+		iter++
 
 		prevIdx := idx
+		prevAcq, prevLoad := blockAcq, blockLoad
+		prevBd := bd
 
 		// Phase 1: completions.
 		changed := false
@@ -376,7 +395,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		}
 
 		// Phase 3: cache port issues one access.
-		win.issueOne(t, cfg.Model, eligible)
+		issued := win.issueOne(t, cfg.Model, eligible)
 
 		if changed || idx != prevIdx {
 			dog.last = t
@@ -388,6 +407,44 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		}
 		if cfg.Progress != nil && t&(obs.PublishEvery-1) == 0 {
 			cfg.Progress.Publish(uint64(idx), t)
+		}
+
+		// Time-skip: the cycle was a fixed point iff nothing mutated beyond
+		// a single stall charge. The next state change is time-triggered: an
+		// in-flight access completing, or a completed acquire's wall
+		// elapsing. issueOne is time-invariant — if the port issued nothing
+		// at t it issues nothing at any later cycle of the same state — so
+		// with no scheduled event the machine is livelocked and falls back
+		// to stepping, where the watchdog measures the stagnation.
+		if skip && !changed && idx == prevIdx && issued == nil &&
+			blockAcq == prevAcq && blockLoad == prevLoad {
+			if c, ok := soleStallCharge(&prevBd, &bd); ok {
+				next := ^uint64(0)
+				for _, op := range win.ops {
+					if op.issued && !op.performed && op.performAt < next {
+						next = op.performAt
+					}
+				}
+				// A performed acquire has been compacted out of the window
+				// but still blocks the processor until its wall.
+				if blockAcq != nil && blockAcq.performed && blockAcq.wall > t && blockAcq.wall < next {
+					next = blockAcq.wall
+				}
+				if next != ^uint64(0) && next > t+1 {
+					delta := next - t - 1 // quiet cycles t+1 .. next-1
+					chargeN(&bd, c, delta)
+					if cfg.Metrics != nil {
+						wbHist.ObserveN(uint64(wbCount), delta)
+						rbHist.ObserveN(uint64(rbCount), delta)
+					}
+					if cfg.Progress != nil && t/obs.PublishEvery != next/obs.PublishEvery {
+						cfg.Progress.Publish(uint64(idx), next)
+					}
+					t = next
+					jumped = true
+					continue
+				}
+			}
 		}
 
 		t++
@@ -414,16 +471,46 @@ func pendingProducer(e *trace.Event, owner *[isa.NumRegs]*memOp, buf []uint8) *m
 
 // charge adds one stall cycle of the given category to bd.
 func charge(bd *Breakdown, cat uint8) {
+	chargeN(bd, cat, 1)
+}
+
+// chargeN adds n stall cycles of the given category to bd.
+func chargeN(bd *Breakdown, cat uint8, n uint64) {
 	switch cat {
 	case catSync:
-		bd.Sync++
+		bd.Sync += n
 	case catRead:
-		bd.Read++
+		bd.Read += n
 	case catWrite:
-		bd.Write++
+		bd.Write += n
 	case catBranch:
-		bd.Branch++
+		bd.Branch += n
 	default:
-		bd.Other++
+		bd.Other += n
 	}
+}
+
+// soleStallCharge reports whether cur differs from prev by exactly one stall
+// cycle in exactly one category with busy time unchanged — the charge
+// signature of a time-skip fixed-point cycle — and returns that category.
+func soleStallCharge(prev, cur *Breakdown) (uint8, bool) {
+	if cur.Busy != prev.Busy {
+		return 0, false
+	}
+	d := [5]uint64{
+		catSync:   cur.Sync - prev.Sync,
+		catRead:   cur.Read - prev.Read,
+		catWrite:  cur.Write - prev.Write,
+		catBranch: cur.Branch - prev.Branch,
+		catOther:  cur.Other - prev.Other,
+	}
+	if d[catSync]+d[catRead]+d[catWrite]+d[catBranch]+d[catOther] != 1 {
+		return 0, false
+	}
+	for c, n := range d {
+		if n == 1 {
+			return uint8(c), true
+		}
+	}
+	return 0, false
 }

@@ -23,9 +23,15 @@ import (
 // by the application's own simulated time, orders of magnitude below this.
 const DefaultWatchdogBudget = uint64(1) << 30
 
-// watchdogStride is how often (in cycles, power of two) the replay loops
-// poll the watchdog and the cancellation context; a stride keeps the checks
-// off the per-cycle hot path.
+// watchdogStride is how often (in loop iterations, power of two) the replay
+// loops poll the watchdog and the cancellation context; a stride keeps the
+// checks off the per-cycle hot path. The stride counts iterations rather
+// than simulated cycles because the time-skip paths jump the cycle counter
+// in irregular increments: a cycle-masked check (t&(stride-1)==0) could be
+// jumped over forever, whereas every iteration — stepped or jumped — ticks
+// the iteration counter exactly once. The skip paths additionally poll at
+// every jump landing, so a jump that crosses the no-progress budget fires
+// the watchdog promptly instead of waiting out the stride.
 const watchdogStride = 1 << 14
 
 // WatchdogError reports a replay killed for making no forward progress.

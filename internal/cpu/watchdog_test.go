@@ -59,6 +59,40 @@ func TestWatchdogKillsStalledReplay(t *testing.T) {
 	}
 }
 
+// TestWatchdogFiresUnderTimeSkip guards the interaction between the
+// watchdog and the event-driven time-skip path. The stall's wait is
+// deliberately not a multiple of the poll stride: a cycle-masked poll
+// (t&(stride-1)==0, the pre-skip design) would never be evaluated once the
+// skip path jumps straight from the stall's onset to the acquire wall,
+// letting a livelock sail past the budget unnoticed. The iteration-strided
+// polls plus the poll at every jump landing must catch the stagnation under
+// both stepping disciplines.
+func TestWatchdogFiresUnderTimeSkip(t *testing.T) {
+	tr := stallTrace(1<<22 + 12345)
+	for _, tc := range []struct {
+		model string
+		run   func(*trace.Trace, Config) (Result, error)
+	}{
+		{"SSBR", RunSSBR},
+		{"SS", RunSS},
+		{"DS", RunDS},
+	} {
+		for _, noskip := range []bool{false, true} {
+			c := cfg(consistency.SC, 64)
+			c.WatchdogBudget = 100
+			c.NoTimeSkip = noskip
+			_, err := tc.run(tr, c)
+			var wd *WatchdogError
+			if !errors.As(err, &wd) {
+				t.Fatalf("%s noskip=%v: err = %v, want *WatchdogError", tc.model, noskip, err)
+			}
+			if wd.Cycle-wd.LastProgress <= wd.Budget {
+				t.Errorf("%s noskip=%v: fired within budget: %+v", tc.model, noskip, wd)
+			}
+		}
+	}
+}
+
 // The same stall under the default budget must complete: long waits are
 // legitimate, only stagnation beyond the budget is not.
 func TestWatchdogDefaultBudgetAllowsLongWaits(t *testing.T) {

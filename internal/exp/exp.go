@@ -36,6 +36,12 @@ type Options struct {
 	// the paper's unbounded-bandwidth assumption.
 	MemIssueInterval uint32
 
+	// NoTimeSkip forces every replay cell back to pure cycle-by-cycle
+	// stepping, disabling the event-driven time-skip optimization (see
+	// cpu.Config.NoTimeSkip). Results are byte-identical either way; the
+	// flag exists for diagnosis and for the equivalence tests.
+	NoTimeSkip bool
+
 	// Workers bounds the number of concurrent simulations the harness runs:
 	// application trace generations and the independent replay cells of each
 	// figure, table, and sweep. 0 selects runtime.GOMAXPROCS(0); 1 forces

@@ -149,7 +149,7 @@ type cell struct {
 }
 
 func (c cell) run(tr *trace.Trace, o *Options) (Column, error) {
-	cfg := cpu.Config{Model: c.model, Window: c.window, Ctx: o.Ctx}
+	cfg := cpu.Config{Model: c.model, Window: c.window, Ctx: o.Ctx, NoTimeSkip: o.NoTimeSkip}
 	if c.mutate != nil {
 		c.mutate(&cfg)
 	}

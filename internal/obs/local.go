@@ -72,6 +72,27 @@ func (b *HistogramBatch) Observe(v uint64) {
 	b.counts[len(b.h.bounds)].Add(1)
 }
 
+// ObserveN records n identical samples of value v locally, exactly as n
+// calls to Observe would: the bucket count and total grow by n and the sum
+// by v*n. The time-skip simulation paths use it to account a whole run of
+// identical stall cycles in one call while keeping every downstream
+// snapshot — and therefore the ledger checksum — byte-identical to the
+// cycle-stepped accounting. Safe on a nil receiver.
+func (b *HistogramBatch) ObserveN(v, n uint64) {
+	if b == nil || n == 0 {
+		return
+	}
+	b.total.Add(n)
+	b.sum.Add(v * n)
+	for i, bound := range b.h.bounds {
+		if v <= bound {
+			b.counts[i].Add(n)
+			return
+		}
+	}
+	b.counts[len(b.h.bounds)].Add(n)
+}
+
 // Flush merges the batched samples into the shared histogram and resets the
 // batch for reuse. It is safe to call concurrently with Observe (samples
 // that land during the flush are simply merged by a later flush). Safe on a

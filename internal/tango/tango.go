@@ -100,6 +100,65 @@ type Result struct {
 
 const unblocked = math.MaxUint64
 
+// procEntry is one scheduled wakeup in the scheduler's ready heap.
+type procEntry struct {
+	at uint64 // the processor's readyAt when the entry was pushed
+	id int
+}
+
+// procHeap is a binary min-heap on (at, id) — the event queue of the
+// scheduler. Ordering by time with processor id breaking ties reproduces
+// exactly the interleaving of the original linear scan ("smallest readyAt,
+// lowest id wins"), so traces are bit-identical. Entries are lazy: when a
+// blocked processor is woken its stale entry stays behind and is discarded
+// on pop by comparing the recorded time against the live readyAt.
+type procHeap []procEntry
+
+func (h *procHeap) push(e procEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !lessProc((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *procHeap) pop() procEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && lessProc(old[l], old[s]) {
+			s = l
+		}
+		if r < n && lessProc(old[r], old[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		old[i], old[s] = old[s], old[i]
+		i = s
+	}
+	return top
+}
+
+func lessProc(a, b procEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.id < b.id
+}
+
 // Synchronization object address spaces. Events and barriers are identified
 // by small ids in the ISA; the simulator gives each a cache line of its own
 // in a reserved high region so that coherence traffic on sync variables is
@@ -155,6 +214,8 @@ type sim struct {
 
 	tr  *trace.Trace
 	trs []*trace.Trace // per-processor traces when RecordAll
+
+	ready procHeap // lazy min-heap of (readyAt, id) wakeup entries
 
 	memNextFree uint64 // earliest time the memory system accepts a new miss
 
@@ -306,19 +367,35 @@ func (s *sim) publishMetrics(res *Result) {
 	}
 }
 
+// enqueue schedules p's next wakeup in the ready heap; no-op for halted or
+// blocked processors (a blocked processor is enqueued by whoever wakes it).
+func (s *sim) enqueue(p *proc) {
+	if p.halted || p.readyAt == unblocked {
+		return
+	}
+	s.ready.push(procEntry{at: p.readyAt, id: p.id})
+}
+
 func (s *sim) loop() error {
 	running := len(s.procs)
+	s.ready = make(procHeap, 0, 2*len(s.procs))
+	for _, p := range s.procs {
+		s.enqueue(p)
+	}
 	for running > 0 {
-		// Pick the processor with the smallest ready time (lowest id wins
-		// ties) — deterministic global-time-order interleaving.
+		// Pop the processor with the smallest ready time (lowest id wins
+		// ties) — the same deterministic global-time-order interleaving the
+		// linear scan produced, now via the event queue: the scheduler does
+		// no per-processor polling, it jumps straight to the next wakeup.
 		var next *proc
-		for _, p := range s.procs {
-			if p.halted || p.readyAt == unblocked {
-				continue
+		for len(s.ready) > 0 {
+			e := s.ready.pop()
+			p := s.procs[e.id]
+			if p.halted || p.readyAt == unblocked || p.readyAt != e.at {
+				continue // stale: the processor moved on (or blocked) since the push
 			}
-			if next == nil || p.readyAt < next.readyAt {
-				next = p
-			}
+			next = p
+			break
 		}
 		if next == nil {
 			return s.machineError("deadlock", 0,
@@ -349,6 +426,8 @@ func (s *sim) loop() error {
 		}
 		if halted {
 			running--
+		} else {
+			s.enqueue(next)
 		}
 	}
 	return nil
@@ -581,6 +660,7 @@ func (s *sim) stepSync(p *proc, t uint64, info vm.StepInfo, ev trace.Event) erro
 			w.stats.SyncWait += wait
 			w.stats.SyncTransfer += uint64(lat)
 			s.patch(w, uint32(lat), uint32(wait), miss)
+			s.enqueue(w)
 		} else {
 			l.held = false
 			l.freeAt = freeAt
@@ -620,6 +700,7 @@ func (s *sim) stepSync(p *proc, t uint64, info vm.StepInfo, ev trace.Event) erro
 				w.stats.SyncWait += wait
 				w.stats.SyncTransfer += uint64(rlat)
 				s.patch(w, uint32(rlat), uint32(wait), rmiss)
+				s.enqueue(w)
 			}
 			b.arrived = b.arrived[:0]
 			b.maxTime = 0
@@ -681,6 +762,7 @@ func (s *sim) stepSync(p *proc, t uint64, info vm.StepInfo, ev trace.Event) erro
 			w.stats.SyncWait += wait
 			w.stats.SyncTransfer += uint64(rlat)
 			s.patch(w, uint32(rlat), uint32(wait), rmiss)
+			s.enqueue(w)
 		}
 		e.waiters = e.waiters[:0]
 		return nil

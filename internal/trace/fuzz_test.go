@@ -10,9 +10,11 @@ import (
 // never panic or allocate unboundedly, and anything it accepts must be a
 // valid trace that survives a re-serialization round trip.
 func FuzzReadTrace(f *testing.F) {
-	// Seed corpus: a valid v2 trace, its legacy v1 form, truncations at
-	// every structural boundary, a bit flip in the payload, a corrupted
-	// footer, a bogus magic, and a header claiming 2^34 events.
+	// Seed corpus: valid traces in all three accepted formats (v3 chunked,
+	// v2 flat, legacy v1), a multi-chunk v3 trace, truncations at every
+	// structural boundary including the chunk header and mid-payload, bit
+	// flips in the chunk payload, a corrupted footer, a bogus magic, and a
+	// header claiming 2^34 events.
 	var buf bytes.Buffer
 	if _, err := miniTrace().WriteTo(&buf); err != nil {
 		f.Fatal(err)
@@ -20,17 +22,36 @@ func FuzzReadTrace(f *testing.F) {
 	valid := buf.Bytes()
 	f.Add(valid)
 
-	legacy := append([]byte(nil), valid[:len(valid)-footerSize]...)
+	var v2buf bytes.Buffer
+	if _, err := miniTrace().WriteToV2(&v2buf); err != nil {
+		f.Fatal(err)
+	}
+	v2 := v2buf.Bytes()
+	f.Add(v2)
+
+	legacy := append([]byte(nil), v2[:len(v2)-footerSize]...)
 	binary.LittleEndian.PutUint32(legacy[4:8], legacyVersion)
 	f.Add(legacy)
 
-	for _, cut := range []int{0, 3, 10, 24, 30, 36, len(valid) - footerSize, len(valid) - 1} {
+	var multi bytes.Buffer
+	if _, err := syntheticTrace(chunkEvents + 64).WriteTo(&multi); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(multi.Bytes())
+
+	hdrEnd := 24 + len("mini") + 8
+	for _, cut := range []int{0, 3, 10, 24, 30, hdrEnd, hdrEnd + chunkHdrSize,
+		hdrEnd + chunkHdrSize + 7, len(valid) - footerSize, len(valid) - 1} {
 		f.Add(append([]byte(nil), valid[:cut]...))
 	}
 
 	flipped := append([]byte(nil), valid...)
 	flipped[len(flipped)/2] ^= 0x40
 	f.Add(flipped)
+
+	flippedV2 := append([]byte(nil), v2...)
+	flippedV2[len(flippedV2)/2] ^= 0x40
+	f.Add(flippedV2)
 
 	badFoot := append([]byte(nil), valid...)
 	badFoot[len(badFoot)-1] ^= 0xFF

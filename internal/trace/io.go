@@ -5,29 +5,43 @@ package trace
 // save them to disk and replay them repeatedly — the same workflow the
 // paper's trace-driven methodology implies.
 //
-// Format (little endian):
+// Current format, version 3 (little endian):
 //
 //	magic   "DSTR"                      4 bytes
-//	version uint32                      currently 2
+//	version uint32                      currently 3
 //	cpu, numCPUs, missPenalty uint32    12 bytes
 //	appLen  uint32, app bytes           variable
 //	count   uint64                      number of events
-//	events  count × 40-byte records
-//	footer  "DSCR" + crc32 uint32       8 bytes (version ≥ 2 only)
+//	chunks  until count events are consumed:
+//	    nEvents uint32                  events in this chunk (≤ 4096)
+//	    nBytes  uint32                  encoded payload size
+//	    payload nBytes bytes            varint/delta-encoded events
+//	    crc32   uint32                  CRC32-IEEE of the payload
+//	footer  "DSCR" + crc32 uint32       8 bytes, checksums the whole file
 //
-// Each event record: PC int32, NextPC int32, Op uint8, Dst uint8,
-// Src1 uint8, Src2 uint8, flags uint8 (bit0 miss, bit1 taken), 3 pad
-// bytes, Imm int64, Addr uint64, Latency uint32, Wait uint32.
+// Within a chunk each event is a flags byte, an opcode byte, and then only
+// the fields the flags declare present, delta-encoded against a per-chunk
+// predictor: the PC is encoded only when it differs from the previous
+// event's NextPC (flag bit 7), NextPC is stored as a zigzag varint of
+// NextPC−(PC+1) (zero for straight-line code, so one byte), the effective
+// address as a zigzag varint delta against the previous address-bearing
+// event, and Imm/Latency/Wait as varints elided entirely when zero. An ALU
+// instruction in straight-line code therefore costs 3 bytes instead of the
+// 40-byte flat record of versions 1 and 2. Delta state resets at every
+// chunk boundary, so a corrupted chunk cannot poison its successors, and
+// each chunk carries its own CRC so corruption is localized on read.
 //
-// Version 2 appends a footer carrying a CRC32-IEEE checksum of every
-// preceding byte, so a truncated or bit-flipped file is rejected instead of
-// replayed as garbage. Version 1 is the identical layout without the
-// footer; ReadTrace still accepts it (no integrity check possible).
+// Versions 1 and 2 use flat 40-byte records (PC int32, NextPC int32, Op,
+// Dst, Src1, Src2, flags, 3 pad, Imm int64, Addr uint64, Latency uint32,
+// Wait uint32); version 2 added the whole-file CRC footer. ReadTrace still
+// accepts both, and WriteToV2 still emits version 2 for tools that need it
+// and for benchmarking the formats against each other.
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 
@@ -37,32 +51,65 @@ import (
 var traceMagic = [4]byte{'D', 'S', 'T', 'R'}
 
 // formatVersion is bumped whenever the on-disk layout changes. Version 2
-// added the CRC32 footer.
-const formatVersion = 2
+// added the CRC32 footer; version 3 replaced the flat records with chunked
+// varint/delta encoding.
+const formatVersion = 3
+
+// v2Version is the flat-record format with a CRC footer, still written by
+// WriteToV2 and accepted by ReadTrace.
+const v2Version = 2
 
 // legacyVersion is the oldest version ReadTrace still accepts: the same
-// record layout as version 2, but without the integrity footer.
+// flat record layout as version 2, but without the integrity footer.
 const legacyVersion = 1
 
+// eventSize is the flat record size of versions 1 and 2.
 const eventSize = 40
 
-// footerMagic guards the CRC32 footer of version-2 traces; it doubles as a
-// cheap truncation detector before the checksum is even compared.
+// footerMagic guards the trailing CRC32 footer (versions ≥ 2); it doubles
+// as a cheap truncation detector before the checksum is even compared.
 var footerMagic = [4]byte{'D', 'S', 'C', 'R'}
 
 const footerSize = 8
 
-// recBatch is how many event records are encoded or decoded per buffer
-// operation; paper-scale traces have millions of events, so batching keeps
-// the per-event serialization cost to plain stores into a reused buffer.
+// recBatch is how many flat event records are encoded or decoded per buffer
+// operation in the version-1/2 paths; paper-scale traces have millions of
+// events, so batching keeps the per-event cost to plain stores.
 const recBatch = 512
 
+// chunkEvents is the maximum events per version-3 chunk. 4096 keeps the
+// chunk buffer (≤ chunkEvents·maxEventEnc bytes) comfortably cache-sized
+// while amortizing the 12-byte chunk overhead to noise.
+const chunkEvents = 4096
+
+// maxEventEnc bounds the encoded size of one version-3 event: flags 1 +
+// op 1 + dPC ≤10 + dNextPC ≤10 + regs 3 + imm ≤10 + addr ≤10 + latency ≤5
+// + wait ≤5. Used to reject implausible chunk headers before allocating.
+const maxEventEnc = 55
+
+const chunkHdrSize = 8 // nEvents uint32 + nBytes uint32
+
+// Flat-record flag bits (versions 1 and 2).
 const (
 	flagMiss  = 1 << 0
 	flagTaken = 1 << 1
 )
 
-// WriteTo serializes the trace. It returns the number of bytes written.
+// Version-3 per-event flag bits. Bits 2–6 declare which optional fields
+// follow; a clear bit means the field is zero and absent from the stream.
+const (
+	f3Miss    = 1 << 0 // Miss
+	f3Taken   = 1 << 1 // Taken
+	f3Regs    = 1 << 2 // Dst, Src1, Src2 bytes present (any nonzero)
+	f3Imm     = 1 << 3 // Imm varint present
+	f3Addr    = 1 << 4 // Addr delta varint present
+	f3Latency = 1 << 5 // Latency uvarint present
+	f3Wait    = 1 << 6 // Wait uvarint present
+	f3PCJump  = 1 << 7 // PC ≠ previous event's NextPC; dPC varint present
+)
+
+// WriteTo serializes the trace in the current (version 3) format. It
+// returns the number of bytes written.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	sum := crc32.NewIEEE()
@@ -73,22 +120,60 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 		sum.Write(b[:m])
 		return err
 	}
-	var hdr [24]byte
-	copy(hdr[0:4], traceMagic[:])
-	binary.LittleEndian.PutUint32(hdr[4:8], formatVersion)
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(t.CPU))
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(t.NumCPUs))
-	binary.LittleEndian.PutUint32(hdr[16:20], t.MissPenalty)
-	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(t.App)))
-	if err := put(hdr[:]); err != nil {
+	if err := put(t.encodeHeader(formatVersion)); err != nil {
 		return n, err
 	}
-	if err := put([]byte(t.App)); err != nil {
+	buf := make([]byte, 0, 16*1024)
+	var ch [chunkHdrSize + 4]byte
+	for base := 0; base < len(t.Events); base += chunkEvents {
+		end := base + chunkEvents
+		if end > len(t.Events) {
+			end = len(t.Events)
+		}
+		buf = buf[:0]
+		var predPC int32
+		var prevAddr uint64
+		for i := base; i < end; i++ {
+			buf = appendEventV3(buf, &t.Events[i], &predPC, &prevAddr)
+		}
+		binary.LittleEndian.PutUint32(ch[0:4], uint32(end-base))
+		binary.LittleEndian.PutUint32(ch[4:8], uint32(len(buf)))
+		if err := put(ch[:chunkHdrSize]); err != nil {
+			return n, err
+		}
+		if err := put(buf); err != nil {
+			return n, err
+		}
+		binary.LittleEndian.PutUint32(ch[0:4], crc32.ChecksumIEEE(buf))
+		if err := put(ch[:4]); err != nil {
+			return n, err
+		}
+	}
+	var foot [footerSize]byte
+	copy(foot[0:4], footerMagic[:])
+	binary.LittleEndian.PutUint32(foot[4:8], sum.Sum32())
+	m, err := bw.Write(foot[:])
+	n += int64(m)
+	if err != nil {
 		return n, err
 	}
-	var cnt [8]byte
-	binary.LittleEndian.PutUint64(cnt[:], uint64(len(t.Events)))
-	if err := put(cnt[:]); err != nil {
+	return n, bw.Flush()
+}
+
+// WriteToV2 serializes the trace in the previous flat-record format
+// (version 2). Retained so existing consumers of the flat layout keep a
+// writer and so the benchmark suite can measure version 3 against it.
+func (t *Trace) WriteToV2(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	sum := crc32.NewIEEE()
+	var n int64
+	put := func(b []byte) error {
+		m, err := bw.Write(b)
+		n += int64(m)
+		sum.Write(b[:m])
+		return err
+	}
+	if err := put(t.encodeHeader(v2Version)); err != nil {
 		return n, err
 	}
 	buf := make([]byte, recBatch*eventSize)
@@ -135,10 +220,84 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// ReadTrace deserializes a trace written by WriteTo and validates it. It
-// accepts the current CRC32-footered format (version 2) and the legacy
-// footerless version 1; version-2 traces whose checksum does not match the
-// payload — truncation, bit flips, torn writes — are rejected.
+// encodeHeader builds the fixed header, app name, and event count shared by
+// every format version.
+func (t *Trace) encodeHeader(version uint32) []byte {
+	b := make([]byte, 24, 24+len(t.App)+8)
+	copy(b[0:4], traceMagic[:])
+	binary.LittleEndian.PutUint32(b[4:8], version)
+	binary.LittleEndian.PutUint32(b[8:12], uint32(t.CPU))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(t.NumCPUs))
+	binary.LittleEndian.PutUint32(b[16:20], t.MissPenalty)
+	binary.LittleEndian.PutUint32(b[20:24], uint32(len(t.App)))
+	b = append(b, t.App...)
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(t.Events)))
+	return append(b, cnt[:]...)
+}
+
+// appendEventV3 encodes one event against the chunk's delta state: predPC
+// is the previous event's NextPC (what straight-line code predicts for this
+// PC), prevAddr the address of the previous address-bearing event.
+func appendEventV3(buf []byte, e *Event, predPC *int32, prevAddr *uint64) []byte {
+	var flags uint8
+	if e.Miss {
+		flags |= f3Miss
+	}
+	if e.Taken {
+		flags |= f3Taken
+	}
+	if e.Instr.Dst != 0 || e.Instr.Src1 != 0 || e.Instr.Src2 != 0 {
+		flags |= f3Regs
+	}
+	if e.Instr.Imm != 0 {
+		flags |= f3Imm
+	}
+	if e.Addr != 0 {
+		flags |= f3Addr
+	}
+	if e.Latency != 0 {
+		flags |= f3Latency
+	}
+	if e.Wait != 0 {
+		flags |= f3Wait
+	}
+	if e.PC != *predPC {
+		flags |= f3PCJump
+	}
+	buf = append(buf, flags, uint8(e.Instr.Op))
+	if flags&f3PCJump != 0 {
+		buf = binary.AppendVarint(buf, int64(e.PC)-int64(*predPC))
+	}
+	buf = binary.AppendVarint(buf, int64(e.NextPC)-int64(e.PC)-1)
+	if flags&f3Regs != 0 {
+		buf = append(buf, e.Instr.Dst, e.Instr.Src1, e.Instr.Src2)
+	}
+	if flags&f3Imm != 0 {
+		buf = binary.AppendVarint(buf, e.Instr.Imm)
+	}
+	if flags&f3Addr != 0 {
+		// Wrapping uint64 subtraction: the zigzag varint round-trips any
+		// delta, and the decoder adds it back with the same wrap.
+		buf = binary.AppendVarint(buf, int64(e.Addr-*prevAddr))
+		*prevAddr = e.Addr
+	}
+	if flags&f3Latency != 0 {
+		buf = binary.AppendUvarint(buf, uint64(e.Latency))
+	}
+	if flags&f3Wait != 0 {
+		buf = binary.AppendUvarint(buf, uint64(e.Wait))
+	}
+	*predPC = e.NextPC
+	return buf
+}
+
+// ReadTrace deserializes a trace written by WriteTo or WriteToV2 and
+// validates it. It accepts the current chunked format (version 3, with a
+// per-chunk CRC and the whole-file footer), the flat-record version 2
+// (footer only), and the legacy footerless version 1. Any checksum that
+// does not match the payload — truncation, bit flips, torn writes — is
+// rejected instead of replayed as garbage.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	sum := crc32.NewIEEE()
@@ -151,9 +310,11 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: bad magic %q", hdr[0:4])
 	}
 	version := binary.LittleEndian.Uint32(hdr[4:8])
-	if version != formatVersion && version != legacyVersion {
-		return nil, fmt.Errorf("trace: unsupported format version %d (want %d or %d)",
-			version, legacyVersion, formatVersion)
+	switch version {
+	case legacyVersion, v2Version, formatVersion:
+	default:
+		return nil, fmt.Errorf("trace: unsupported format version %d (want %d, %d, or %d)",
+			version, legacyVersion, v2Version, formatVersion)
 	}
 	t := &Trace{
 		CPU:         int(binary.LittleEndian.Uint32(hdr[8:12])),
@@ -179,47 +340,16 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if count > 1<<34 {
 		return nil, fmt.Errorf("trace: implausible event count %d", count)
 	}
-	// Grow Events as batches are actually read rather than trusting the
-	// declared count up front: a corrupted header claiming 2^34 events must
-	// not allocate hundreds of gigabytes before the short read is noticed.
-	cap0 := count
-	if cap0 > recBatch {
-		cap0 = recBatch
+	var err error
+	if version == formatVersion {
+		err = readEventsV3(br, sum, t, count)
+	} else {
+		err = readEventsFlat(br, sum, t, count)
 	}
-	t.Events = make([]Event, 0, cap0)
-	buf := make([]byte, recBatch*eventSize)
-	var batch [recBatch]Event
-	for base := uint64(0); base < count; base += recBatch {
-		nrec := count - base
-		if nrec > recBatch {
-			nrec = recBatch
-		}
-		if _, err := io.ReadFull(br, buf[:nrec*eventSize]); err != nil {
-			return nil, fmt.Errorf("trace: short event %d: %w", base, err)
-		}
-		sum.Write(buf[:nrec*eventSize])
-		for i := uint64(0); i < nrec; i++ {
-			rec := buf[i*eventSize:][:eventSize]
-			e := &batch[i]
-			e.PC = int32(binary.LittleEndian.Uint32(rec[0:4]))
-			e.NextPC = int32(binary.LittleEndian.Uint32(rec[4:8]))
-			e.Instr.Op = isa.Op(rec[8])
-			if !e.Instr.Op.Valid() {
-				return nil, fmt.Errorf("trace: event %d has invalid opcode %d", base+i, rec[8])
-			}
-			e.Instr.Dst = rec[9]
-			e.Instr.Src1 = rec[10]
-			e.Instr.Src2 = rec[11]
-			e.Miss = rec[12]&flagMiss != 0
-			e.Taken = rec[12]&flagTaken != 0
-			e.Instr.Imm = int64(binary.LittleEndian.Uint64(rec[16:24]))
-			e.Addr = binary.LittleEndian.Uint64(rec[24:32])
-			e.Latency = binary.LittleEndian.Uint32(rec[32:36])
-			e.Wait = binary.LittleEndian.Uint32(rec[36:40])
-		}
-		t.Events = append(t.Events, batch[:nrec]...)
+	if err != nil {
+		return nil, err
 	}
-	if version >= formatVersion {
+	if version >= v2Version {
 		var foot [footerSize]byte
 		if _, err := io.ReadFull(br, foot[:]); err != nil {
 			return nil, fmt.Errorf("trace: short CRC footer: %w", err)
@@ -236,4 +366,201 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: deserialized trace invalid: %w", err)
 	}
 	return t, nil
+}
+
+// readEventsFlat decodes the 40-byte records of versions 1 and 2.
+func readEventsFlat(br *bufio.Reader, sum hash.Hash32, t *Trace, count uint64) error {
+	// Grow Events as batches are actually read rather than trusting the
+	// declared count up front: a corrupted header claiming 2^34 events must
+	// not allocate hundreds of gigabytes before the short read is noticed.
+	cap0 := count
+	if cap0 > recBatch {
+		cap0 = recBatch
+	}
+	t.Events = make([]Event, 0, cap0)
+	buf := make([]byte, recBatch*eventSize)
+	var batch [recBatch]Event
+	for base := uint64(0); base < count; base += recBatch {
+		nrec := count - base
+		if nrec > recBatch {
+			nrec = recBatch
+		}
+		if _, err := io.ReadFull(br, buf[:nrec*eventSize]); err != nil {
+			return fmt.Errorf("trace: short event %d: %w", base, err)
+		}
+		sum.Write(buf[:nrec*eventSize])
+		for i := uint64(0); i < nrec; i++ {
+			rec := buf[i*eventSize:][:eventSize]
+			e := &batch[i]
+			e.PC = int32(binary.LittleEndian.Uint32(rec[0:4]))
+			e.NextPC = int32(binary.LittleEndian.Uint32(rec[4:8]))
+			e.Instr.Op = isa.Op(rec[8])
+			if !e.Instr.Op.Valid() {
+				return fmt.Errorf("trace: event %d has invalid opcode %d", base+i, rec[8])
+			}
+			e.Instr.Dst = rec[9]
+			e.Instr.Src1 = rec[10]
+			e.Instr.Src2 = rec[11]
+			e.Miss = rec[12]&flagMiss != 0
+			e.Taken = rec[12]&flagTaken != 0
+			e.Instr.Imm = int64(binary.LittleEndian.Uint64(rec[16:24]))
+			e.Addr = binary.LittleEndian.Uint64(rec[24:32])
+			e.Latency = binary.LittleEndian.Uint32(rec[32:36])
+			e.Wait = binary.LittleEndian.Uint32(rec[36:40])
+		}
+		t.Events = append(t.Events, batch[:nrec]...)
+	}
+	return nil
+}
+
+// readEventsV3 decodes the chunked varint/delta stream of version 3. Each
+// chunk's CRC is verified before its payload is decoded, so a corrupted
+// chunk is reported as a checksum failure, not as whatever garbage the
+// varint decoder would have made of it.
+func readEventsV3(br *bufio.Reader, sum hash.Hash32, t *Trace, count uint64) error {
+	cap0 := count
+	if cap0 > chunkEvents {
+		cap0 = chunkEvents
+	}
+	t.Events = make([]Event, 0, cap0)
+	var buf []byte
+	var hdr [chunkHdrSize]byte
+	for read := uint64(0); read < count; {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return fmt.Errorf("trace: short chunk header at event %d: %w", read, err)
+		}
+		sum.Write(hdr[:])
+		nEvents := binary.LittleEndian.Uint32(hdr[0:4])
+		nBytes := binary.LittleEndian.Uint32(hdr[4:8])
+		if nEvents == 0 || nEvents > chunkEvents || uint64(nEvents) > count-read {
+			return fmt.Errorf("trace: chunk claims %d events with %d remaining", nEvents, count-read)
+		}
+		if nBytes < 2*nEvents || nBytes > nEvents*maxEventEnc {
+			return fmt.Errorf("trace: chunk of %d events claims implausible size %d", nEvents, nBytes)
+		}
+		if uint32(cap(buf)) < nBytes {
+			buf = make([]byte, nBytes)
+		}
+		buf = buf[:nBytes]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("trace: short chunk payload at event %d: %w", read, err)
+		}
+		sum.Write(buf)
+		var cb [4]byte
+		if _, err := io.ReadFull(br, cb[:]); err != nil {
+			return fmt.Errorf("trace: short chunk CRC at event %d: %w", read, err)
+		}
+		sum.Write(cb[:])
+		want := binary.LittleEndian.Uint32(cb[:])
+		if got := crc32.ChecksumIEEE(buf); got != want {
+			return fmt.Errorf("trace: chunk CRC mismatch at event %d: computed %08x, header says %08x", read, got, want)
+		}
+		if err := decodeChunkV3(buf, int(nEvents), t); err != nil {
+			return fmt.Errorf("trace: chunk at event %d: %w", read, err)
+		}
+		read += uint64(nEvents)
+	}
+	return nil
+}
+
+// decodeChunkV3 decodes one chunk payload, appending nEvents to t.Events.
+// The payload must be consumed exactly.
+func decodeChunkV3(buf []byte, nEvents int, t *Trace) error {
+	pos := 0
+	varint := func() (int64, error) {
+		v, n := binary.Varint(buf[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("truncated or oversized varint at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("truncated or oversized varint at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	var predPC int32
+	var prevAddr uint64
+	for i := 0; i < nEvents; i++ {
+		if pos+2 > len(buf) {
+			return fmt.Errorf("payload exhausted at event %d of %d", i, nEvents)
+		}
+		flags, op := buf[pos], buf[pos+1]
+		pos += 2
+		var e Event
+		e.Instr.Op = isa.Op(op)
+		if !e.Instr.Op.Valid() {
+			return fmt.Errorf("event %d has invalid opcode %d", i, op)
+		}
+		e.Miss = flags&f3Miss != 0
+		e.Taken = flags&f3Taken != 0
+		pc := int64(predPC)
+		if flags&f3PCJump != 0 {
+			d, err := varint()
+			if err != nil {
+				return err
+			}
+			pc += d
+		}
+		dNext, err := varint()
+		if err != nil {
+			return err
+		}
+		next := pc + 1 + dNext
+		if pc < -1<<31 || pc > 1<<31-1 || next < -1<<31 || next > 1<<31-1 {
+			return fmt.Errorf("event %d PC delta out of range", i)
+		}
+		e.PC = int32(pc)
+		e.NextPC = int32(next)
+		if flags&f3Regs != 0 {
+			if pos+3 > len(buf) {
+				return fmt.Errorf("payload exhausted in event %d registers", i)
+			}
+			e.Instr.Dst, e.Instr.Src1, e.Instr.Src2 = buf[pos], buf[pos+1], buf[pos+2]
+			pos += 3
+		}
+		if flags&f3Imm != 0 {
+			if e.Instr.Imm, err = varint(); err != nil {
+				return err
+			}
+		}
+		if flags&f3Addr != 0 {
+			d, err := varint()
+			if err != nil {
+				return err
+			}
+			prevAddr += uint64(d)
+			e.Addr = prevAddr
+		}
+		if flags&f3Latency != 0 {
+			v, err := uvarint()
+			if err != nil {
+				return err
+			}
+			if v > 1<<32-1 {
+				return fmt.Errorf("event %d latency %d overflows uint32", i, v)
+			}
+			e.Latency = uint32(v)
+		}
+		if flags&f3Wait != 0 {
+			v, err := uvarint()
+			if err != nil {
+				return err
+			}
+			if v > 1<<32-1 {
+				return fmt.Errorf("event %d wait %d overflows uint32", i, v)
+			}
+			e.Wait = uint32(v)
+		}
+		predPC = e.NextPC
+		t.Events = append(t.Events, e)
+	}
+	if pos != len(buf) {
+		return fmt.Errorf("chunk has %d undecoded trailing bytes", len(buf)-pos)
+	}
+	return nil
 }

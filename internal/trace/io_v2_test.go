@@ -8,21 +8,38 @@ import (
 	"testing"
 )
 
+// v2Bytes serializes tr in the flat-record version-2 format.
+func v2Bytes(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := tr.WriteToV2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // legacyV1Bytes converts a serialized version-2 trace into its version-1
 // equivalent: same layout, version field patched back, CRC footer stripped.
 func legacyV1Bytes(t *testing.T, tr *Trace) []byte {
 	t.Helper()
-	var buf bytes.Buffer
-	if _, err := tr.WriteTo(&buf); err != nil {
-		t.Fatal(err)
-	}
-	b := buf.Bytes()
+	b := v2Bytes(t, tr)
 	if len(b) < footerSize {
 		t.Fatalf("serialized trace too short: %d bytes", len(b))
 	}
 	b = b[:len(b)-footerSize]
 	binary.LittleEndian.PutUint32(b[4:8], legacyVersion)
 	return b
+}
+
+func TestReadTraceV2(t *testing.T) {
+	orig := miniTrace()
+	got, err := ReadTrace(bytes.NewReader(v2Bytes(t, orig)))
+	if err != nil {
+		t.Fatalf("v2 trace rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got.Events, orig.Events) {
+		t.Error("v2 events did not survive the round trip")
+	}
 }
 
 func TestReadTraceLegacyV1(t *testing.T) {
@@ -37,12 +54,8 @@ func TestReadTraceLegacyV1(t *testing.T) {
 	}
 }
 
-func TestReadTraceCRCMismatch(t *testing.T) {
-	var buf bytes.Buffer
-	if _, err := miniTrace().WriteTo(&buf); err != nil {
-		t.Fatal(err)
-	}
-	b := buf.Bytes()
+func TestReadTraceV2CRCMismatch(t *testing.T) {
+	b := v2Bytes(t, miniTrace())
 	// Flip one bit in an event's address field: record layout stays valid,
 	// so only the checksum can catch it.
 	off := 24 + len("mini") + 8 + 24
@@ -53,6 +66,51 @@ func TestReadTraceCRCMismatch(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "CRC") {
 		t.Errorf("bit flip rejected with %v, want a CRC error", err)
+	}
+}
+
+func TestReadTraceV3ChunkCRCMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := miniTrace().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Flip one bit in the middle of the first chunk's payload: the chunk
+	// CRC must reject it before the varint decoder ever sees the bytes.
+	off := 24 + len("mini") + 8 + chunkHdrSize + 5
+	b[off] ^= 0x10
+	_, err := ReadTrace(bytes.NewReader(b))
+	if err == nil {
+		t.Fatal("bit-flipped v3 chunk accepted")
+	}
+	if !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("chunk bit flip rejected with %v, want a CRC error", err)
+	}
+}
+
+// TestReadTraceV3BadChunkHeader corrupts a chunk header's declared sizes:
+// the reader must reject implausible counts without huge allocations.
+func TestReadTraceV3BadChunkHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := miniTrace().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	off := 24 + len("mini") + 8
+	for _, bad := range []struct {
+		name  string
+		patch func(b []byte)
+	}{
+		{"zero events", func(b []byte) { binary.LittleEndian.PutUint32(b[off:], 0) }},
+		{"too many events", func(b []byte) { binary.LittleEndian.PutUint32(b[off:], 1<<31) }},
+		{"oversized payload", func(b []byte) { binary.LittleEndian.PutUint32(b[off+4:], 1<<30) }},
+		{"undersized payload", func(b []byte) { binary.LittleEndian.PutUint32(b[off+4:], 1) }},
+	} {
+		b := append([]byte(nil), orig...)
+		bad.patch(b)
+		if _, err := ReadTrace(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: corrupted chunk header accepted", bad.name)
+		}
 	}
 }
 
@@ -85,16 +143,18 @@ func TestReadTraceBadFooterMagic(t *testing.T) {
 // carries none. The reader must fail on the missing data without first
 // allocating the declared (multi-hundred-gigabyte) event slice.
 func TestReadTraceHugeCountNoOOM(t *testing.T) {
-	var b bytes.Buffer
-	var hdr [24]byte
-	copy(hdr[0:4], traceMagic[:])
-	binary.LittleEndian.PutUint32(hdr[4:8], formatVersion)
-	binary.LittleEndian.PutUint32(hdr[16:20], 50)
-	b.Write(hdr[:])
-	var cnt [8]byte
-	binary.LittleEndian.PutUint64(cnt[:], 1<<34)
-	b.Write(cnt[:])
-	if _, err := ReadTrace(bytes.NewReader(b.Bytes())); err == nil {
-		t.Error("event count with no event data accepted")
+	for _, version := range []uint32{legacyVersion, v2Version, formatVersion} {
+		var b bytes.Buffer
+		var hdr [24]byte
+		copy(hdr[0:4], traceMagic[:])
+		binary.LittleEndian.PutUint32(hdr[4:8], version)
+		binary.LittleEndian.PutUint32(hdr[16:20], 50)
+		b.Write(hdr[:])
+		var cnt [8]byte
+		binary.LittleEndian.PutUint64(cnt[:], 1<<34)
+		b.Write(cnt[:])
+		if _, err := ReadTrace(bytes.NewReader(b.Bytes())); err == nil {
+			t.Errorf("version %d: event count with no event data accepted", version)
+		}
 	}
 }

@@ -14,6 +14,8 @@ package dynsched
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -38,6 +40,27 @@ type perfBenchReport struct {
 	RunDSNs       float64 `json:"runds_ns_per_op"`
 	RunDSAllocs   float64 `json:"runds_allocs_per_op"`
 	RunDSBaseline float64 `json:"runds_allocs_per_op_before_pooling"`
+
+	Tango16Ns float64 `json:"tango16_ns_per_op"`
+
+	// Event-driven time skip: DS RC/W64 replay cost with skipping on
+	// (default) and forced off, at rising miss penalties. The skip arm
+	// scales with trace events, the noskip arm with simulated cycles, so
+	// the speedup grows with the penalty.
+	Lat50SkipNs     float64 `json:"runds_lat50_skip_ns_per_op"`
+	Lat50NoskipNs   float64 `json:"runds_lat50_noskip_ns_per_op"`
+	Lat200SkipNs    float64 `json:"runds_lat200_skip_ns_per_op"`
+	Lat200NoskipNs  float64 `json:"runds_lat200_noskip_ns_per_op"`
+	Lat1000SkipNs   float64 `json:"runds_lat1000_skip_ns_per_op"`
+	Lat1000NoskipNs float64 `json:"runds_lat1000_noskip_ns_per_op"`
+	SkipSpeedup50   float64 `json:"timeskip_speedup_lat50"`
+	SkipSpeedup200  float64 `json:"timeskip_speedup_lat200"`
+	SkipSpeedup1000 float64 `json:"timeskip_speedup_lat1000"`
+
+	// Trace format v3 vs v2, aggregated over the five paper applications.
+	TraceV2BytesPerEvent float64 `json:"trace_v2_bytes_per_event"`
+	TraceV3BytesPerEvent float64 `json:"trace_v3_bytes_per_event"`
+	TraceV3SizeRatio     float64 `json:"trace_v3_size_ratio"`
 }
 
 // sweepHarness builds a harness with the given worker bound and all five
@@ -108,6 +131,95 @@ func BenchmarkPerf(b *testing.B) {
 		rep.RunDSNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 		rep.RunDSAllocs = float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
 	})
+
+	b.Run("Tango16", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts := exp.DefaultOptions()
+			opts.Scale = apps.ScaleSmall
+			opts.Apps = []string{"mp3d"}
+			e := exp.New(opts)
+			if _, err := e.Run("mp3d"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rep.Tango16Ns = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	latNs := map[uint32][2]*float64{
+		50:   {&rep.Lat50SkipNs, &rep.Lat50NoskipNs},
+		200:  {&rep.Lat200SkipNs, &rep.Lat200NoskipNs},
+		1000: {&rep.Lat1000SkipNs, &rep.Lat1000NoskipNs},
+	}
+	for _, penalty := range []uint32{50, 200, 1000} {
+		opts := exp.DefaultOptions()
+		opts.Scale = apps.ScaleSmall
+		opts.MissPenalty = penalty
+		opts.Apps = []string{"ocean"}
+		e := exp.New(opts)
+		run, err := e.Run("ocean")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for armIdx, noskip := range []bool{false, true} {
+			name := "skip"
+			if noskip {
+				name = "noskip"
+			}
+			slot := latNs[penalty][armIdx]
+			b.Run(fmt.Sprintf("RunDS/lat%d/%s", penalty, name), func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := cpu.Config{Model: consistency.RC, Window: 64, NoTimeSkip: noskip}
+				if _, err := cpu.RunDS(run.Trace, cfg); err != nil { // warm the scratch pool
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := cpu.RunDS(run.Trace, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				*slot = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			})
+		}
+	}
+	if rep.Lat50NoskipNs > 0 {
+		rep.SkipSpeedup50 = rep.Lat50NoskipNs / rep.Lat50SkipNs
+	}
+	if rep.Lat200NoskipNs > 0 {
+		rep.SkipSpeedup200 = rep.Lat200NoskipNs / rep.Lat200SkipNs
+	}
+	if rep.Lat1000NoskipNs > 0 {
+		rep.SkipSpeedup1000 = rep.Lat1000NoskipNs / rep.Lat1000SkipNs
+		b.ReportMetric(rep.SkipSpeedup1000, "timeskip-speedup@1000")
+	}
+
+	// Trace format sizes, aggregated over all five paper applications.
+	{
+		e := benchHarness(b)
+		var v2Bytes, v3Bytes, events int64
+		for _, app := range e.Apps() {
+			run, err := e.Run(app)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n3, err := run.Trace.WriteTo(io.Discard)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n2, err := run.Trace.WriteToV2(io.Discard)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v3Bytes += n3
+			v2Bytes += n2
+			events += int64(run.Trace.Len())
+		}
+		rep.TraceV2BytesPerEvent = float64(v2Bytes) / float64(events)
+		rep.TraceV3BytesPerEvent = float64(v3Bytes) / float64(events)
+		rep.TraceV3SizeRatio = float64(v3Bytes) / float64(v2Bytes)
+		b.ReportMetric(rep.TraceV3BytesPerEvent, "v3-bytes/event")
+	}
 
 	if rep.SweepSerialNs > 0 && rep.SweepParallelNs > 0 {
 		rep.SweepSpeedup = rep.SweepSerialNs / rep.SweepParallelNs
