@@ -26,6 +26,7 @@
 //	machines    2-32 processor scaling sweep (extension)
 //	distances   distance between consecutive read misses (§4.1.3)
 //	ablate      store-buffer / MSHR / BTB ablations (extension)
+//	analyze     critical-path cycle attribution and top-down bottlenecks
 //	all         everything above
 //
 // Flags select the problem scale (-scale small|medium|paper), the miss
@@ -41,6 +42,17 @@
 // trace-event JSON when the path ends in .json); -progress prints a
 // throughput line to stderr every second; -cpuprofile/-memprofile write
 // runtime/pprof profiles.
+//
+// The analyze experiment replays every application with a critical-path
+// collector attached and prints, per configuration, what fraction of
+// execution time is attributable to each fine-grained cause (data
+// dependences, read/write latency, synchronization, consistency ordering,
+// buffer and MSHR structural limits, branch-misprediction refill), plus the
+// distribution of each instruction's last-arriving dependence edge. The
+// buckets sum exactly to the simulated execution time. -analyze-json writes
+// the report as JSON; -flame-out writes a Chrome trace-event flamegraph
+// (load it in chrome://tracing or Perfetto). With -serve, the attribution
+// is also queryable live at /bottlenecks once the analyze step records it.
 //
 // -serve ADDR starts a live HTTP server for the duration of the run
 // (":0" picks a free port; the bound address is printed to stderr) exposing
@@ -81,6 +93,7 @@ import (
 	"dynsched/internal/bpred"
 	"dynsched/internal/consistency"
 	"dynsched/internal/cpu"
+	"dynsched/internal/critpath"
 	"dynsched/internal/exp"
 	"dynsched/internal/obs"
 	"dynsched/internal/trace"
@@ -110,6 +123,8 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	csvOut := fs.Bool("csv", false, "emit figure data as CSV (fig3, fig4, latency100, issue4, wo, scpf)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
+	analyzeJSON := fs.String("analyze-json", "", "write the analyze report as JSON to this file")
+	flameOut := fs.String("flame-out", "", "write the analyze attribution as a Chrome trace-event flamegraph to this file")
 	pipeOut := fs.String("pipe-trace-out", "", "write a pipeline trace of an RC-DS64 replay of the first app (.json = Chrome trace, else Konata)")
 	progress := fs.Bool("progress", false, "print simulation throughput to stderr every second")
 	serveAddr := fs.String("serve", "", "serve live /metrics, /jobs, /progress, and /debug/pprof on this address while the run executes (e.g. :8080; :0 picks a free port)")
@@ -123,7 +138,7 @@ func run(args []string) error {
 		fmt.Fprintf(fs.Output(), "       hidelat diff [-threshold 0.05] [-json] OLD NEW\n\n")
 		fmt.Fprintf(fs.Output(), "Experiments: table1 table2 table3 fig3 fig4 summary delays latency100\n")
 		fmt.Fprintf(fs.Output(), "             issue4 wo scpf resched cachegeom contexts contention\n")
-		fmt.Fprintf(fs.Output(), "             machines distances ablate all\n\nFlags:\n")
+		fmt.Fprintf(fs.Output(), "             machines distances ablate analyze all\n\nFlags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -278,7 +293,9 @@ func run(args []string) error {
 		"contexts":   contexts,
 		"contention": contention,
 		"machines":   machines,
+		"analyze":    analyzeCmd,
 	}
+	analyzeJSONOut, flameOutPath = *analyzeJSON, *flameOut
 	if what != "all" {
 		if _, ok := steps[what]; !ok {
 			return fmt.Errorf("unknown experiment %q", what)
@@ -301,7 +318,7 @@ func run(args []string) error {
 		var partial error
 		for _, name := range []string{"table1", "table2", "table3", "fig3", "fig4",
 			"summary", "delays", "distances", "issue4", "wo", "scpf", "resched",
-			"cachegeom", "contexts", "contention", "machines", "ablate"} {
+			"cachegeom", "contexts", "contention", "machines", "ablate", "analyze"} {
 			stepName = name
 			if err := steps[name](e); err != nil {
 				var pe *exp.PartialError
@@ -425,6 +442,43 @@ func finishObs(e *exp.Experiment, metricsOut, pipeOut, memProfile string) error 
 
 // emitCSV switches the column-based experiments to CSV output.
 var emitCSV bool
+
+// analyzeJSONOut and flameOutPath hold the -analyze-json and -flame-out
+// destinations for the analyze step.
+var analyzeJSONOut, flameOutPath string
+
+// analyzeCmd runs the critical-path attribution sweep and prints the
+// top-down report. Like the figure steps, a *PartialError still prints the
+// healthy cells and writes the artifacts before being reported at exit.
+func analyzeCmd(e *exp.Experiment) error {
+	rep, err := e.AnalyzeAll()
+	if rep == nil {
+		return err
+	}
+	fmt.Print(rep.Format())
+	exp.RecordAnalyze(metricsReg, rep)
+	if analyzeJSONOut != "" {
+		werr := obs.WriteFileAtomic(analyzeJSONOut, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		})
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "hidelat: wrote analyze report to %s\n", analyzeJSONOut)
+	}
+	if flameOutPath != "" {
+		werr := obs.WriteFileAtomic(flameOutPath, func(w io.Writer) error {
+			return critpath.WriteFlame(w, rep.FlameCells())
+		})
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "hidelat: wrote attribution flamegraph to %s\n", flameOutPath)
+	}
+	return err
+}
 
 // metricsReg collects every experiment's metrics when -metrics-out is set.
 var metricsReg *obs.Registry

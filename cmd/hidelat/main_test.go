@@ -189,3 +189,67 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestCLIAnalyze smoke-tests the critical-path attribution step: the text
+// report, the JSON export, and the flamegraph export.
+func TestCLIAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "analyze.json")
+	flamePath := filepath.Join(dir, "flame.json")
+	out, err := captureRun(t, "-scale", "small", "-apps", "lu", "-cpus", "1",
+		"-analyze-json", jsonPath, "-flame-out", flamePath, "analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Critical-path cycle attribution", "== lu ==",
+		"RC-DS256", "Last-arriving edges", "dominant stall by window"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Apps []struct {
+			App   string `json:"app"`
+			Cells []struct {
+				Label       string `json:"label"`
+				Attribution struct {
+					TotalCycles uint64            `json:"total_cycles"`
+					Cycles      map[string]uint64 `json:"cycles"`
+				} `json:"attribution"`
+			} `json:"cells"`
+		} `json:"apps"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("analyze-json did not parse: %v", err)
+	}
+	if len(rep.Apps) != 1 || rep.Apps[0].App != "lu" || len(rep.Apps[0].Cells) != 8 {
+		t.Fatalf("analyze-json shape: %+v", rep.Apps)
+	}
+	var sum uint64
+	last := rep.Apps[0].Cells[7]
+	for _, v := range last.Attribution.Cycles {
+		sum += v
+	}
+	if sum != last.Attribution.TotalCycles || sum == 0 {
+		t.Errorf("%s: JSON buckets sum to %d, total %d", last.Label, sum, last.Attribution.TotalCycles)
+	}
+
+	flame, err := os.ReadFile(flamePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		Events []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(flame, &tr); err != nil {
+		t.Fatalf("flame-out did not parse: %v", err)
+	}
+	if len(tr.Events) == 0 {
+		t.Error("flame-out has no trace events")
+	}
+}

@@ -136,6 +136,17 @@ func load(path string) (*trace.Trace, error) {
 	return trace.ReadTrace(f)
 }
 
+// statFile reports the container-level layout (format version, chunk CRC
+// status, encoded density) of a serialized trace.
+func statFile(path string) (trace.FileStat, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return trace.FileStat{}, err
+	}
+	defer f.Close()
+	return trace.Stat(f)
+}
+
 func info(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: tracetool info <file>")
@@ -146,6 +157,11 @@ func info(args []string) error {
 	}
 	fmt.Printf("app=%s cpu=%d/%d missPenalty=%d instructions=%d\n",
 		tr.App, tr.CPU, tr.NumCPUs, tr.MissPenalty, tr.Len())
+	if st, err := statFile(args[0]); err == nil {
+		fmt.Println(st.Format())
+	} else {
+		return err
+	}
 	d := tr.Data()
 	fmt.Printf("reads   %8d (%.1f/1000)   read misses  %7d (%.1f/1000)\n",
 		d.Reads, d.Per1000(d.Reads), d.ReadMisses, d.Per1000(d.ReadMisses))

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"dynsched/internal/critpath"
 	"dynsched/internal/isa"
 	"dynsched/internal/trace"
 )
@@ -14,26 +15,54 @@ import (
 // operations add their wait and transfer components. The consistency model
 // is irrelevant for BASE because nothing overlaps anyway.
 func RunBase(tr *trace.Trace) Result {
+	return RunBaseCP(tr, nil)
+}
+
+// RunBaseCP is RunBase with critical-path attribution. BASE takes no
+// Config, so — like obs.PublishResult — the collector hook is a separate
+// entry point rather than a Config field. With BASE nothing overlaps, so
+// the attribution is exact: every stall cycle's cause is the instruction's
+// own memory or synchronization latency, and each instruction's
+// last-arriving edge is that same cause (busy when it added no stall).
+func RunBaseCP(tr *trace.Trace, cp *critpath.Collector) Result {
 	var b Breakdown
+	stall := func(cause critpath.Cause, n uint64) {
+		cp.StallN(cause, n)
+		if n > 0 {
+			cp.Edge(cause)
+		} else {
+			cp.Edge(critpath.Busy)
+		}
+	}
 	for i := range tr.Events {
 		e := &tr.Events[i]
 		b.Busy++
 		switch e.Class() {
 		case isa.ClassLoad:
-			b.Read += uint64(e.Latency) - 1
+			d := uint64(e.Latency) - 1
+			b.Read += d
+			stall(critpath.ReadLat, d)
 		case isa.ClassStore:
-			b.Write += uint64(e.Latency) - 1
+			d := uint64(e.Latency) - 1
+			b.Write += d
+			stall(critpath.WriteLat, d)
 		case isa.ClassSync:
 			// Acquires (lock, event wait, barrier) stall for their wait and
 			// transfer components; releases (unlock, event set) are writes
 			// and their latency is charged as write time — "release
 			// operations are included in the total write miss time".
+			d := uint64(e.Wait) + uint64(e.Latency) - 1
 			if isAcquireClass(e.Instr.Op) {
-				b.Sync += uint64(e.Wait) + uint64(e.Latency) - 1
+				b.Sync += d
+				stall(critpath.SyncWait, d)
 			} else {
-				b.Write += uint64(e.Wait) + uint64(e.Latency) - 1
+				b.Write += d
+				stall(critpath.WriteLat, d)
 			}
+		default:
+			cp.Edge(critpath.Busy)
 		}
 	}
+	cp.Finish(b.Total())
 	return Result{Breakdown: b, Instructions: uint64(len(tr.Events))}
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"dynsched/internal/consistency"
+	"dynsched/internal/critpath"
 	"dynsched/internal/isa"
 	"dynsched/internal/obs"
 	"dynsched/internal/trace"
@@ -199,6 +200,13 @@ type Config struct {
 	// ticker, as one labelled lane so concurrent replays do not clobber each
 	// other's rows (obtain one via Progress.Lane).
 	Progress *obs.Lane
+	// CritPath collects critical-path cycle attribution: every stall cycle
+	// the model charges is mirrored into a fine-grained cause bucket, and
+	// each retired instruction records its last-arriving dependence edge.
+	// The collector is per-replay (not safe for sharing across cells); the
+	// buckets it accumulates sum exactly to Breakdown.Total(). nil (the
+	// default) collects nothing and costs only nil checks.
+	CritPath *critpath.Collector
 
 	// NoTimeSkip forces the cycle-stepped simulation path. By default the
 	// replay loops are event-driven: when a cycle completes nothing, accepts

@@ -5,6 +5,7 @@ import (
 
 	"dynsched/internal/bpred"
 	"dynsched/internal/consistency"
+	"dynsched/internal/critpath"
 	"dynsched/internal/isa"
 	"dynsched/internal/obs"
 	"dynsched/internal/trace"
@@ -301,6 +302,82 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 
 	var srcBuf [2]uint8
 
+	// Critical-path attribution (package critpath): each stall cycle the
+	// coarse accounting below charges is mirrored into a fine cause bucket,
+	// refined at the same decision points — e.g. an unissued head load is
+	// split into consistency-blocked vs MSHR-exhausted by replaying the
+	// cache port's own issue test. fineStall is evaluated only on stall
+	// cycles with a collector attached; the default path pays nil checks.
+	cp := cfg.CritPath
+	fineStall := func() critpath.Cause {
+		if headSeq < nextSeq {
+			h := at(headSeq)
+			switch h.class {
+			case isa.ClassLoad:
+				m := h.mop
+				if m.issued {
+					return critpath.ReadLat
+				}
+				if !m.addrReady {
+					if h.waitsOnLoad {
+						return critpath.ReadLat // load-use address chain
+					}
+					return critpath.DataDep
+				}
+				// Ready but the port has not accepted it: mirror issueMem's
+				// gates — consistency ordering first, then the MSHR bound.
+				var pend consistency.Pending
+				for _, om := range memq {
+					if !om.performed && om.seq < h.seq {
+						pendingOf(om, &pend)
+					}
+				}
+				if !consistency.MayIssue(cfg.Model, h.kind, pend) && !cfg.SpeculativeLoads {
+					return critpath.Consistency
+				}
+				if cfg.MSHRs > 0 && outMiss >= cfg.MSHRs && m.latency > 1 {
+					return critpath.MSHRFull
+				}
+				return critpath.ReadLat // allowed; waiting on the single port
+			case isa.ClassStore:
+				if h.waitsOnLoad && !h.done {
+					return critpath.ReadLat
+				}
+				if !h.done {
+					return critpath.DataDep
+				}
+				return critpath.BufferFull // store buffer full at retirement
+			case isa.ClassSync:
+				if isAcquireClass(h.ev.Instr.Op) {
+					return critpath.SyncWait
+				}
+				if h.waitsOnLoad && !h.done {
+					return critpath.ReadLat
+				}
+				if !h.done {
+					return critpath.DataDep
+				}
+				return critpath.BufferFull // release blocked on the store buffer
+			default: // ALU/branch/halt not yet executed
+				if h.waitsOnLoad {
+					return critpath.ReadLat // tail of a load-use chain
+				}
+				if h.depCount > 0 {
+					return critpath.DataDep
+				}
+				return critpath.BranchRefill // pipeline fill after redirect
+			}
+		}
+		if fetchBlockedBy >= 0 {
+			return critpath.BranchRefill
+		}
+		if memLive > 0 && idx >= len(events) {
+			return critpath.WriteLat // draining buffered writes at the end
+		}
+		return critpath.Other
+	}
+	var fineCat critpath.Cause // this cycle's fine cause (valid when charged)
+
 	// Livelock watchdog and cooperative cancellation, polled on a stride so
 	// the per-cycle hot path stays branch-light.
 	dog := newWatchdog(cfg.WatchdogBudget)
@@ -461,6 +538,20 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 					Mispredict: h.mispredicted,
 				})
 			}
+			if cp != nil {
+				// Last-arriving edge of the retiring instruction: a head that
+				// waited takes the cause of the stall it sat through; one that
+				// completed earlier but retired only now was bound by in-order
+				// retirement; anything else flowed through busily.
+				switch {
+				case h.headAt < t:
+					cp.EdgeLast()
+				case h.doneAt < t:
+					cp.Edge(critpath.InOrder)
+				default:
+					cp.Edge(critpath.Busy)
+				}
+			}
 			headSeq++
 			retired++
 		}
@@ -519,6 +610,10 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 			cat[c]++
 			stallStack.pushN(c, 1)
 			stallCat = c
+			if cp != nil {
+				fineCat = fineStall()
+				cp.Stall(fineCat)
+			}
 		} else if retired > cfg.IssueWidth {
 			// A cycle that retires more than the issue width proves that
 			// earlier stall cycles overlapped useful buffered work; credit
@@ -527,6 +622,7 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 			credit += retired - cfg.IssueWidth
 			for credit >= cfg.IssueWidth && len(stallStack) > 0 {
 				cat[stallStack.pop()]--
+				cp.Uncharge()
 				credit -= cfg.IssueWidth
 			}
 		}
@@ -692,6 +788,11 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 				delta := next - t - 1 // quiet cycles t+1 .. next-1
 				cat[stallCat] += delta
 				stallStack.pushN(stallCat, delta)
+				if cp != nil {
+					// The fixed point charged fineCat this cycle; the skipped
+					// stretch repeats exactly that charge.
+					cp.StallN(fineCat, delta)
+				}
 				occ := uint64(nextSeq - headSeq)
 				occupancySum += occ * delta
 				if cfg.Metrics != nil {
@@ -736,6 +837,7 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 	if t > 0 {
 		res.AvgOccupancy = float64(occupancySum) / float64(t)
 	}
+	cp.Finish(t)
 	robHist.Close()
 	sbHist.Close()
 	mshrHist.Close()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynsched/internal/consistency"
+	"dynsched/internal/critpath"
 	"dynsched/internal/isa"
 	"dynsched/internal/obs"
 	"dynsched/internal/trace"
@@ -209,6 +210,53 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		}
 	}
 
+	// Critical-path attribution: every coarse stall charge below is
+	// mirrored into a fine cause bucket at the same decision site, so the
+	// buckets sum exactly to the Breakdown (busy is the Finish residual).
+	// fineLast remembers the cycle's charge for the time-skip bulk path.
+	cp := cfg.CritPath
+	var fineLast critpath.Cause
+	fineCharge := func(f critpath.Cause) {
+		fineLast = f
+		cp.Stall(f)
+	}
+	// fineStallOn classifies a stall on an unperformed access, the fine
+	// analogue of opWindow.stallCategory: an issued access is genuine
+	// memory latency of its own class; an unissued one is held back by
+	// consistency-model ordering.
+	fineStallOn := func(blocked *memOp) critpath.Cause {
+		if !blocked.issued {
+			return critpath.Consistency
+		}
+		switch {
+		case blocked.kind&consistency.Acquire != 0:
+			return critpath.SyncWait
+		case blocked.kind&(consistency.Store|consistency.Release) != 0:
+			return critpath.WriteLat
+		default:
+			return critpath.ReadLat
+		}
+	}
+	// Edge recording: the static pipeline accepts at most one instruction
+	// per cycle, so an instruction accepted right after the previous one
+	// never waited (busy edge); anything else waited through the stall
+	// cycles just charged, whose cause is its last-arriving edge.
+	var (
+		anyAccept   bool
+		lastAcceptT uint64
+	)
+	recordEdge := func() {
+		if cp == nil {
+			return
+		}
+		if !anyAccept || t <= lastAcceptT+1 {
+			cp.Edge(critpath.Busy)
+		} else {
+			cp.EdgeLast()
+		}
+		anyAccept, lastAcceptT = true, t
+	}
+
 	model := "SSBR"
 	if nonBlockingReads {
 		model = "SS"
@@ -300,6 +348,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 				blockAcq = nil
 			} else {
 				bd.Sync++
+				fineCharge(critpath.SyncWait)
 				stalled = true
 			}
 		}
@@ -308,6 +357,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 				blockLoad = nil
 			} else {
 				charge(&bd, win.stallCategory(blockLoad))
+				fineCharge(fineStallOn(blockLoad))
 				stalled = true
 			}
 		}
@@ -317,8 +367,10 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 			case isa.ClassALU, isa.ClassBranch, isa.ClassHalt:
 				if p := pendingProducer(e, &regOwner, srcBuf[:0]); nonBlockingReads && p != nil {
 					charge(&bd, win.stallCategory(p))
+					fineCharge(fineStallOn(p))
 				} else {
 					recordAccept(e)
+					recordEdge()
 					bd.Busy++
 					idx++
 				}
@@ -327,8 +379,10 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 				switch {
 				case nonBlockingReads && pp != nil:
 					charge(&bd, win.stallCategory(pp))
+					fineCharge(fineStallOn(pp))
 				case nonBlockingReads && rbCount >= cfg.ReadBufDepth:
 					bd.Read++ // read buffer full
+					fineCharge(critpath.BufferFull)
 				default:
 					op := scratch.arena.newMemOp(idx, e)
 					op.decodedAt = t
@@ -339,6 +393,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 					} else {
 						blockLoad = op
 					}
+					recordEdge()
 					bd.Busy++
 					idx++
 				}
@@ -347,19 +402,23 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 				switch {
 				case nonBlockingReads && pp != nil:
 					charge(&bd, win.stallCategory(pp))
+					fineCharge(fineStallOn(pp))
 				case wbCount >= cfg.WriteBufDepth:
 					bd.Write++ // write buffer full
+					fineCharge(critpath.BufferFull)
 				default:
 					op := scratch.arena.newMemOp(idx, e)
 					op.decodedAt = t
 					win.add(op)
 					wbCount++
+					recordEdge()
 					bd.Busy++
 					idx++
 				}
 			case isa.ClassSync:
 				if p := pendingProducer(e, &regOwner, srcBuf[:0]); nonBlockingReads && p != nil {
 					charge(&bd, win.stallCategory(p))
+					fineCharge(fineStallOn(p))
 					break
 				}
 				op := scratch.arena.newMemOp(idx, e)
@@ -368,13 +427,16 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 					op.wall = t + uint64(op.wait)
 					win.add(op)
 					blockAcq = op
+					recordEdge()
 					bd.Busy++
 					idx++
 				} else if wbCount >= cfg.WriteBufDepth {
 					bd.Write++
+					fineCharge(critpath.BufferFull)
 				} else {
 					win.add(op) // release drains through the write buffer
 					wbCount++
+					recordEdge()
 					bd.Busy++
 					idx++
 				}
@@ -383,7 +445,8 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 			// Trace exhausted: draining the window. Charge by the oldest
 			// unperformed access.
 			if len(win.ops) > 0 {
-				switch head := win.ops[0]; {
+				head := win.ops[0]
+				switch {
 				case head.kind&consistency.Acquire != 0:
 					bd.Sync++
 				case head.kind == consistency.Load:
@@ -391,6 +454,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 				default:
 					bd.Write++
 				}
+				fineCharge(fineStallOn(head))
 			}
 		}
 
@@ -433,6 +497,10 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 				if next != ^uint64(0) && next > t+1 {
 					delta := next - t - 1 // quiet cycles t+1 .. next-1
 					chargeN(&bd, c, delta)
+					// The fixed-point cycle charged exactly one stall, whose
+					// fine cause fineCharge just recorded; the skipped stretch
+					// repeats that charge.
+					cp.StallN(fineLast, delta)
 					if cfg.Metrics != nil {
 						wbHist.ObserveN(uint64(wbCount), delta)
 						rbHist.ObserveN(uint64(rbCount), delta)
@@ -451,6 +519,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 	}
 
 	res := Result{Breakdown: bd, Instructions: uint64(len(events))}
+	cp.Finish(bd.Total())
 	wbHist.Close()
 	rbHist.Close()
 	cfg.Progress.Publish(uint64(idx), t)

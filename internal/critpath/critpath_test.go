@@ -1,0 +1,164 @@
+package critpath
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Stall(ReadLat)
+	c.StallN(WriteLat, 7)
+	c.Uncharge()
+	c.Edge(Busy)
+	c.EdgeLast()
+	c.Finish(100)
+	if got := c.Last(); got != Busy {
+		t.Errorf("nil Last() = %v, want busy", got)
+	}
+	if a := c.Attribution(); a.Total != 0 || a.Sum() != 0 {
+		t.Errorf("nil Attribution() = %+v, want zero", a)
+	}
+}
+
+func TestConservationResidualBusy(t *testing.T) {
+	c := NewCollector()
+	c.StallN(ReadLat, 40)
+	c.Stall(BranchRefill)
+	c.Stall(BranchRefill)
+	c.StallN(SyncWait, 8)
+	c.Finish(100)
+	a := c.Attribution()
+	if a.Sum() != 100 {
+		t.Fatalf("Sum() = %d, want 100 (conservation)", a.Sum())
+	}
+	if a.Cycles[Busy] != 50 {
+		t.Errorf("busy = %d, want residual 50", a.Cycles[Busy])
+	}
+	if a.Cycles[ReadLat] != 40 || a.Cycles[BranchRefill] != 2 || a.Cycles[SyncWait] != 8 {
+		t.Errorf("stall buckets = %v", a.Cycles)
+	}
+	if d := a.DominantStall(); d != ReadLat {
+		t.Errorf("DominantStall() = %v, want read-lat", d)
+	}
+}
+
+// TestUnchargeLIFO checks that Uncharge pops fine causes in exactly the
+// reverse charge order, one cycle at a time, across run-length boundaries —
+// the lockstep mirror of the DS stall stack's credit pops.
+func TestUnchargeLIFO(t *testing.T) {
+	c := NewCollector()
+	c.StallN(ReadLat, 2)
+	c.Stall(BranchRefill)
+	c.Stall(ReadLat) // separate run after the branch run
+
+	want := []Cause{ReadLat, BranchRefill, ReadLat, ReadLat}
+	for i, cause := range want {
+		before := c.cycles[cause]
+		c.Uncharge()
+		if c.cycles[cause] != before-1 {
+			t.Fatalf("pop %d: cycles[%v] = %d, want %d", i, cause, c.cycles[cause], before-1)
+		}
+	}
+	c.Uncharge() // empty stack: no-op, no underflow
+	for cause, n := range c.cycles {
+		if n != 0 {
+			t.Errorf("after draining, cycles[%v] = %d, want 0", Cause(cause), n)
+		}
+	}
+}
+
+func TestEdgeLastTracksMostRecentStall(t *testing.T) {
+	c := NewCollector()
+	c.EdgeLast() // before any stall: busy
+	c.Stall(MSHRFull)
+	c.EdgeLast()
+	c.Edge(InOrder)
+	c.Finish(10)
+	a := c.Attribution()
+	if a.Edges[Busy] != 1 || a.Edges[MSHRFull] != 1 || a.Edges[InOrder] != 1 {
+		t.Errorf("edges = %v", a.Edges)
+	}
+	if a.EdgeSum() != 3 {
+		t.Errorf("EdgeSum() = %d, want 3", a.EdgeSum())
+	}
+}
+
+func TestCauseStrings(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, c := range Causes() {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "cause(") {
+			t.Errorf("cause %d has no name", c)
+		}
+		if seen[s] {
+			t.Errorf("duplicate cause name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Cause(200).String(); got != "cause(200)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestAttributionJSON(t *testing.T) {
+	c := NewCollector()
+	c.StallN(ReadLat, 30)
+	c.Edge(Busy)
+	c.Finish(100)
+	b, err := json.Marshal(c.Attribution())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Total  uint64            `json:"total_cycles"`
+		Cycles map[string]uint64 `json:"cycles"`
+		Edges  map[string]uint64 `json:"edges"`
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+	if got.Total != 100 || got.Cycles["read-lat"] != 30 || got.Cycles["busy"] != 70 || got.Edges["busy"] != 1 {
+		t.Errorf("round-trip = %+v from %s", got, b)
+	}
+}
+
+func TestWriteFlame(t *testing.T) {
+	c := NewCollector()
+	c.StallN(ReadLat, 25)
+	c.StallN(BranchRefill, 5)
+	c.Finish(100)
+	var buf bytes.Buffer
+	if err := WriteFlame(&buf, []FlameCell{{Name: "lu RC-DS64", Attr: c.Attribution()}}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("flame output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// One metadata event plus one X event per non-zero bucket (busy,
+	// read-lat, branch-refill).
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d trace events, want 4:\n%s", len(doc.TraceEvents), buf.String())
+	}
+	var dur float64
+	for _, ev := range doc.TraceEvents[1:] {
+		dur += ev["dur"].(float64)
+	}
+	if dur != 100 {
+		t.Errorf("total flame duration = %v, want 100 (conservation)", dur)
+	}
+
+	// Determinism: two renders are byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteFlame(&buf2, []FlameCell{{Name: "lu RC-DS64", Attr: c.Attribution()}}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("WriteFlame output is not deterministic")
+	}
+}

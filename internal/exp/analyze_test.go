@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dynsched/internal/apps"
+	"dynsched/internal/critpath"
+	"dynsched/internal/obs"
+)
+
+// analyzeLabels is the fixed cell order every report must present.
+var analyzeLabels = []string{
+	"BASE", "RC-SSBR", "RC-SS",
+	"RC-DS16", "RC-DS32", "RC-DS64", "RC-DS128", "RC-DS256",
+}
+
+// TestAnalyzeConservation runs the real pipeline on two applications and
+// checks the tentpole invariant cell by cell: the attribution buckets sum
+// exactly to Breakdown.Total(), busy matches Breakdown.Busy, and the
+// last-arriving edges sum to the retired instruction count — for all four
+// models.
+func TestAnalyzeConservation(t *testing.T) {
+	rep, err := smallExp(t, "mp3d", "lu").AnalyzeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Apps) != 2 {
+		t.Fatalf("got %d apps, want 2", len(rep.Apps))
+	}
+	for _, app := range rep.Apps {
+		if len(app.Cells) != len(analyzeLabels) {
+			t.Fatalf("%s: got %d cells, want %d", app.App, len(app.Cells), len(analyzeLabels))
+		}
+		for i, c := range app.Cells {
+			if c.Label != analyzeLabels[i] {
+				t.Errorf("%s cell %d: label %q, want %q", app.App, i, c.Label, analyzeLabels[i])
+			}
+			if c.Failed {
+				t.Fatalf("%s %s: unexpected failure: %s", app.App, c.Label, c.Error)
+			}
+			if got, want := c.Attr.Sum(), c.Breakdown.Total(); got != want {
+				t.Errorf("%s %s: attribution sum %d != Breakdown.Total() %d", app.App, c.Label, got, want)
+			}
+			if c.Attr.Total != c.Breakdown.Total() {
+				t.Errorf("%s %s: attr.Total %d != %d", app.App, c.Label, c.Attr.Total, c.Breakdown.Total())
+			}
+			if c.Attr.Cycles[critpath.Busy] != c.Breakdown.Busy {
+				t.Errorf("%s %s: busy %d != Breakdown.Busy %d",
+					app.App, c.Label, c.Attr.Cycles[critpath.Busy], c.Breakdown.Busy)
+			}
+			if got, want := c.Attr.EdgeSum(), c.Instructions; got != want {
+				t.Errorf("%s %s: edge sum %d != instructions %d", app.App, c.Label, got, want)
+			}
+			if c.Attr.Total == 0 {
+				t.Errorf("%s %s: empty attribution", app.App, c.Label)
+			}
+		}
+	}
+}
+
+// TestAnalyzeDeterministic pins the report — text, JSON, and flame export —
+// to be byte-identical between serial and parallel execution.
+func TestAnalyzeDeterministic(t *testing.T) {
+	render := func(workers int) (string, string, string) {
+		t.Helper()
+		opts := DefaultOptions()
+		opts.Scale = apps.ScaleSmall
+		opts.Apps = []string{"mp3d", "lu", "pthor"}
+		opts.Workers = workers
+		rep, err := New(opts).AnalyzeAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var flame strings.Builder
+		if err := critpath.WriteFlame(&flame, rep.FlameCells()); err != nil {
+			t.Fatal(err)
+		}
+		return rep.Format(), string(js), flame.String()
+	}
+	txt1, js1, fl1 := render(1)
+	txt4, js4, fl4 := render(4)
+	if txt1 != txt4 {
+		t.Errorf("text report differs between -j 1 and -j 4:\n%s\n---\n%s", txt1, txt4)
+	}
+	if js1 != js4 {
+		t.Error("JSON report differs between -j 1 and -j 4")
+	}
+	if fl1 != fl4 {
+		t.Error("flame export differs between -j 1 and -j 4")
+	}
+	for _, want := range []string{"== mp3d ==", "RC-DS256", "dominant", "Last-arriving edges"} {
+		if !strings.Contains(txt1, want) {
+			t.Errorf("report missing %q:\n%s", want, txt1)
+		}
+	}
+}
+
+// TestAnalyzeDominantShift reproduces the paper's top-down conclusion on a
+// uniprocessor lu trace: at small windows the dominant stall bucket is
+// memory (read) latency; by the large windows dynamic scheduling has hidden
+// it and branch-misprediction refill is what remains.
+func TestAnalyzeDominantShift(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scale = apps.ScaleSmall
+	opts.NumCPUs = 1
+	opts.Apps = []string{"lu"}
+	rep, err := New(opts).AnalyzeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doms := rep.DominantStallByWindow()
+	if len(doms) != len(Windows) {
+		t.Fatalf("got %d sweep points, want %d", len(doms), len(Windows))
+	}
+	if doms[0].Cause != critpath.ReadLat {
+		t.Errorf("W%d dominant stall = %s, want %s", doms[0].Window, doms[0].Cause, critpath.ReadLat)
+	}
+	last := doms[len(doms)-1]
+	if last.Cause != critpath.BranchRefill {
+		t.Errorf("W%d dominant stall = %s, want %s", last.Window, last.Cause, critpath.BranchRefill)
+	}
+}
+
+// TestRecordAnalyze checks the attribution lands in the registry as exact
+// counters (so it participates in the FNV checksum and ledger gates) and
+// that re-recording is idempotent.
+func TestRecordAnalyze(t *testing.T) {
+	rep, err := smallExp(t, "mp3d").AnalyzeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	RecordAnalyze(reg, rep)
+	fnv1 := obs.SnapshotFNV(reg.Snapshot())
+
+	cell := rep.Apps[0].Cells[len(rep.Apps[0].Cells)-1] // RC-DS256
+	if got := reg.Counter("critpath.mp3d.RC-DS256.cycles.total").Value(); got != cell.Attr.Total {
+		t.Errorf("cycles.total counter = %d, want %d", got, cell.Attr.Total)
+	}
+	if got := reg.Counter("critpath.mp3d.RC-DS256.cycles.busy").Value(); got != cell.Attr.Cycles[critpath.Busy] {
+		t.Errorf("cycles.busy counter = %d, want %d", got, cell.Attr.Cycles[critpath.Busy])
+	}
+	if got := reg.Counter("critpath.mp3d.BASE.edges.busy").Value(); got != rep.Apps[0].Cells[0].Attr.Edges[critpath.Busy] {
+		t.Errorf("edges.busy counter = %d, want %d", got, rep.Apps[0].Cells[0].Attr.Edges[critpath.Busy])
+	}
+
+	// Counters use Set, so publishing the same report twice must not drift
+	// the checksum — and a different attribution must change it.
+	RecordAnalyze(reg, rep)
+	if fnv2 := obs.SnapshotFNV(reg.Snapshot()); fnv2 != fnv1 {
+		t.Errorf("re-recording drifted the snapshot FNV: %x -> %x", fnv1, fnv2)
+	}
+	reg2 := obs.NewRegistry()
+	mut := *rep
+	mut.Apps = append([]AnalyzeApp(nil), rep.Apps...)
+	mut.Apps[0].Cells = append([]AnalyzeCell(nil), rep.Apps[0].Cells...)
+	mut.Apps[0].Cells[0].Attr.Cycles[critpath.ReadLat]++
+	mut.Apps[0].Cells[0].Attr.Total++
+	RecordAnalyze(reg2, &mut)
+	if obs.SnapshotFNV(reg2.Snapshot()) == fnv1 {
+		t.Error("attribution drift did not change the snapshot FNV")
+	}
+
+	RecordAnalyze(nil, rep) // nil registry must be a no-op
+}

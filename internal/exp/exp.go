@@ -333,7 +333,9 @@ func normalize(cols []Column) {
 func runArch(tr *trace.Trace, arch string, cfg cpu.Config) (cpu.Result, error) {
 	switch arch {
 	case "BASE":
-		return cpu.RunBase(tr), nil
+		// BASE takes no Config; the critical-path hook is threaded through
+		// its dedicated entry point.
+		return cpu.RunBaseCP(tr, cfg.CritPath), nil
 	case "SSBR":
 		return cpu.RunSSBR(tr, cfg)
 	case "SS":

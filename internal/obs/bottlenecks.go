@@ -1,0 +1,75 @@
+package obs
+
+// The /bottlenecks endpoint: a live top-down view of the critical-path
+// attribution counters the analyze step publishes under
+// "critpath.<app>.<label>.cycles.<cause>". The server side only needs the
+// registry snapshot — the naming convention is the contract — so a sweep
+// that records attribution mid-run exposes its bottleneck ranking while
+// later cells are still executing.
+
+import (
+	"sort"
+	"strings"
+)
+
+// BottleneckCell is one analyzed app × configuration cell, decoded from the
+// snapshot's critpath counters.
+type BottleneckCell struct {
+	Cell        string             `json:"cell"`           // "<app>.<label>", e.g. "mp3d.RC-DS64"
+	TotalCycles uint64             `json:"total_cycles"`   // execution time of the cell
+	Cycles      map[string]uint64  `json:"cycles"`         // cause -> cycles on the critical path
+	Shares      map[string]float64 `json:"shares"`         // cause -> fraction of total cycles
+	Dominant    string             `json:"dominant_stall"` // largest non-busy bucket, "" if all busy
+}
+
+// Bottlenecks decodes every "critpath.<cell>.cycles.<cause>" counter in s
+// into per-cell attributions, sorted by cell name. Snapshots without
+// attribution counters decode to an empty slice. The dominant stall is the
+// largest non-busy bucket; ties break toward the lexicographically smaller
+// cause name so the ranking is deterministic.
+func Bottlenecks(s Snapshot) []BottleneckCell {
+	byCell := make(map[string]*BottleneckCell)
+	for name, v := range s.Counters {
+		rest, ok := strings.CutPrefix(name, "critpath.")
+		if !ok {
+			continue
+		}
+		cell, cause, ok := strings.Cut(rest, ".cycles.")
+		if !ok {
+			continue
+		}
+		bc := byCell[cell]
+		if bc == nil {
+			bc = &BottleneckCell{Cell: cell, Cycles: make(map[string]uint64)}
+			byCell[cell] = bc
+		}
+		if cause == "total" {
+			bc.TotalCycles = v
+		} else {
+			bc.Cycles[cause] = v
+		}
+	}
+
+	out := make([]BottleneckCell, 0, len(byCell))
+	for _, cell := range sortedKeys(byCell) {
+		bc := byCell[cell]
+		if bc.TotalCycles > 0 {
+			bc.Shares = make(map[string]float64, len(bc.Cycles))
+			for cause, v := range bc.Cycles {
+				bc.Shares[cause] = float64(v) / float64(bc.TotalCycles)
+			}
+		}
+		var domN uint64
+		for _, cause := range sortedKeys(bc.Cycles) {
+			if cause == "busy" {
+				continue
+			}
+			if v := bc.Cycles[cause]; v > domN {
+				bc.Dominant, domN = cause, v
+			}
+		}
+		out = append(out, *bc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cell < out[j].Cell })
+	return out
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestBottlenecksDecode(t *testing.T) {
+	r := NewRegistry()
+	// Two analyzed cells plus unrelated metrics that must be ignored.
+	r.Counter("critpath.lu.RC-DS16.cycles.total").Set(1000)
+	r.Counter("critpath.lu.RC-DS16.cycles.busy").Set(600)
+	r.Counter("critpath.lu.RC-DS16.cycles.read-lat").Set(300)
+	r.Counter("critpath.lu.RC-DS16.cycles.branch-refill").Set(100)
+	r.Counter("critpath.lu.RC-DS256.cycles.total").Set(800)
+	r.Counter("critpath.lu.RC-DS256.cycles.busy").Set(700)
+	r.Counter("critpath.lu.RC-DS256.cycles.branch-refill").Set(90)
+	r.Counter("critpath.lu.RC-DS256.cycles.read-lat").Set(10)
+	r.Counter("critpath.lu.RC-DS16.edges.busy").Set(50) // edges are not cycles
+	r.Counter("exp.lu.cycles").Set(12345)
+
+	cells := Bottlenecks(r.Snapshot())
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2: %+v", len(cells), cells)
+	}
+	small, large := cells[0], cells[1]
+	if small.Cell != "lu.RC-DS16" || large.Cell != "lu.RC-DS256" {
+		t.Fatalf("cell order: %q, %q", small.Cell, large.Cell)
+	}
+	if small.TotalCycles != 1000 || small.Dominant != "read-lat" {
+		t.Errorf("small window: total=%d dominant=%q, want 1000/read-lat", small.TotalCycles, small.Dominant)
+	}
+	if large.Dominant != "branch-refill" {
+		t.Errorf("large window dominant = %q, want branch-refill", large.Dominant)
+	}
+	if got := small.Shares["read-lat"]; got != 0.3 {
+		t.Errorf("read-lat share = %v, want 0.3", got)
+	}
+	if _, ok := small.Cycles["busy"]; !ok {
+		t.Error("busy bucket missing from cycles map")
+	}
+
+	if got := Bottlenecks(NewRegistry().Snapshot()); len(got) != 0 {
+		t.Errorf("empty registry decoded to %+v", got)
+	}
+}
+
+func TestServeBottlenecks(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("critpath.mp3d.RC-DS64.cycles.total").Set(500)
+	r.Counter("critpath.mp3d.RC-DS64.cycles.busy").Set(200)
+	r.Counter("critpath.mp3d.RC-DS64.cycles.sync-wait").Set(300)
+
+	srv := httptest.NewServer(NewServeMux(ServerState{Registry: r, Version: "test"}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/bottlenecks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/bottlenecks status = %d", resp.StatusCode)
+	}
+	var cells []BottleneckCell
+	if err := json.NewDecoder(resp.Body).Decode(&cells); err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Cell != "mp3d.RC-DS64" || cells[0].Dominant != "sync-wait" {
+		t.Errorf("/bottlenecks = %+v", cells)
+	}
+
+	// The endpoint must also answer (with an empty list) when no analyze
+	// step has published anything, including with a nil registry.
+	nilSrv := httptest.NewServer(NewServeMux(ServerState{Version: "test"}))
+	defer nilSrv.Close()
+	resp2, err := http.Get(nilSrv.URL + "/bottlenecks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("/bottlenecks with nil registry: status = %d", resp2.StatusCode)
+	}
+}

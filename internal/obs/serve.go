@@ -6,6 +6,7 @@ package obs
 //	/            a plain-text index of the endpoints
 //	/metrics     the registry snapshot in Prometheus text exposition format
 //	/metrics.json  the registry snapshot as JSON (same shape as -metrics-out)
+//	/bottlenecks the critical-path attribution decoded from the registry
 //	/jobs        the experiment scheduler's per-job state (JobBoard.Status)
 //	/progress    the Progress ticker's throughput and ETA (Progress.Status)
 //	/healthz     liveness: version, uptime, goroutine count
@@ -49,6 +50,7 @@ func NewServeMux(st ServerState) *http.ServeMux {
 		fmt.Fprint(w, "endpoints:\n"+
 			"  /metrics        Prometheus text exposition of the metrics registry\n"+
 			"  /metrics.json   JSON metrics snapshot (same shape as -metrics-out)\n"+
+			"  /bottlenecks    critical-path attribution by app and configuration\n"+
 			"  /jobs           experiment scheduler job board\n"+
 			"  /progress       throughput and ETA of the running simulations\n"+
 			"  /healthz        liveness and uptime\n"+
@@ -67,6 +69,10 @@ func NewServeMux(st ServerState) *http.ServeMux {
 		if err := st.Registry.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+
+	mux.HandleFunc("/bottlenecks", func(w http.ResponseWriter, r *http.Request) {
+		serveJSON(w, Bottlenecks(st.Registry.Snapshot()))
 	})
 
 	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {

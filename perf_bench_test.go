@@ -35,7 +35,13 @@ type perfBenchReport struct {
 
 	SweepSerialNs   float64 `json:"windowsweepall_serial_ns_per_op"`
 	SweepParallelNs float64 `json:"windowsweepall_parallel_ns_per_op"`
-	SweepSpeedup    float64 `json:"windowsweepall_speedup"`
+	// SweepSpeedup is only computed when GOMAXPROCS >= 2: on a single-core
+	// host both arms run serially and the "speedup" is pure noise, so the
+	// key is omitted (a missing key is one-sided and never diffs as a
+	// regression) and SweepSpeedupNote says why. The gomaxprocs field above
+	// records the parallelism context the speedup was measured under.
+	SweepSpeedup     float64 `json:"windowsweepall_speedup,omitempty"`
+	SweepSpeedupNote string  `json:"windowsweepall_speedup_note,omitempty"`
 
 	RunDSNs       float64 `json:"runds_ns_per_op"`
 	RunDSAllocs   float64 `json:"runds_allocs_per_op"`
@@ -222,8 +228,15 @@ func BenchmarkPerf(b *testing.B) {
 	}
 
 	if rep.SweepSerialNs > 0 && rep.SweepParallelNs > 0 {
-		rep.SweepSpeedup = rep.SweepSerialNs / rep.SweepParallelNs
-		b.ReportMetric(rep.SweepSpeedup, "sweep-speedup")
+		if rep.GOMAXPROCS >= 2 {
+			rep.SweepSpeedup = rep.SweepSerialNs / rep.SweepParallelNs
+			b.ReportMetric(rep.SweepSpeedup, "sweep-speedup")
+		} else {
+			rep.SweepSpeedupNote = fmt.Sprintf(
+				"speedup not computed: GOMAXPROCS=%d, the serial and parallel sweeps are the same arm",
+				rep.GOMAXPROCS)
+			b.Log(rep.SweepSpeedupNote)
+		}
 		out, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			b.Fatal(err)
