@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	tracetool gen    -app lu -scale paper -o lu.trace     generate and save
-//	tracetool info   lu.trace                             tables 1-3 for one trace
-//	tracetool replay -arch DS -model RC -window 64 lu.trace
+//	tracetool gen     -app lu -scale paper -o lu.trace     generate and save
+//	tracetool info    lu.trace                             tables 1-3 for one trace
+//	tracetool replay  -arch DS -model RC -window 64 lu.trace
+//	tracetool convert -o lu.v3.trace lu.trace              rewrite as chunked v3
 //
 // replay prints the execution-time breakdown of the chosen processor model.
+// Both replay and convert stream the trace through a trace.Cursor — one
+// CRC-verified chunk resident at a time — so multi-gigabyte traces replay
+// and convert in constant memory.
 package main
 
 import (
@@ -41,9 +45,10 @@ func usage() string {
 	return `Usage: tracetool <command> [flags] [file]
 
 Commands:
-  gen     generate a trace on the simulated multiprocessor and save it
-  info    print reference, synchronization, and branch statistics
-  replay  replay a trace through a processor model
+  gen      generate a trace on the simulated multiprocessor and save it
+  info     print reference, synchronization, and branch statistics
+  replay   replay a trace through a processor model (streaming)
+  convert  rewrite a v1/v2/v3 trace as the chunked v3 format (streaming)
 
 Run "tracetool <command> -h" for the command's flags.`
 }
@@ -59,6 +64,8 @@ func run(args []string) error {
 		return info(args[1:])
 	case "replay":
 		return replay(args[1:])
+	case "convert":
+		return convert(args[1:])
 	case "-version", "-v", "version":
 		fmt.Printf("tracetool %s (dynsched)\n", dynsched.Version)
 		return nil
@@ -134,6 +141,75 @@ func load(path string) (*trace.Trace, error) {
 	}
 	defer f.Close()
 	return trace.ReadTrace(f)
+}
+
+// openCursor opens a streaming cursor over the trace at path. The caller
+// must invoke close when done with the cursor.
+func openCursor(path string) (c *trace.Cursor, close func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err = trace.NewCursor(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return c, f.Close, nil
+}
+
+// convert streams a trace in any accepted container version (v1, v2, v3)
+// into a fresh chunked v3 file: Cursor in, Writer out, one chunk resident
+// at a time, written through a temp file + rename so the destination is
+// never torn. The rewrite verifies every integrity check of the source
+// (chunk CRCs, footer, per-event invariants) on the way through.
+func convert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracetool convert -o <out> <file>")
+	}
+	if *out == "" {
+		return fmt.Errorf("convert: -o output file is required")
+	}
+	c, closeIn, err := openCursor(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	var n int64
+	err = obs.WriteFileAtomic(*out, func(w io.Writer) error {
+		tw, err := trace.NewWriter(w, c.Meta(), uint64(c.Len()))
+		if err != nil {
+			return err
+		}
+		for {
+			e, err := c.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if err := tw.Write(e); err != nil {
+				return err
+			}
+		}
+		if err := tw.Close(); err != nil {
+			return err
+		}
+		n = tw.BytesWritten()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %s (v%d) -> %s (v3): %d events, %d bytes\n",
+		fs.Arg(0), c.Version(), *out, c.Len(), n)
+	return nil
 }
 
 // statFile reports the container-level layout (format version, chunk CRC
@@ -214,10 +290,21 @@ func replay(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: tracetool replay [flags] <file>")
 	}
-	tr, err := load(fs.Arg(0))
+	path := fs.Arg(0)
+	// The replay streams the file through a cursor; only a DS window beyond
+	// the cursor's pointer-retention lookback needs the whole trace in
+	// memory, and falls back to the materializing reader.
+	materialize := *arch == "DS" && *window > trace.CursorLookback
+	cur, closeCur, err := openCursor(path)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if closeCur != nil {
+			closeCur()
+		}
+	}()
+	meta, count := cur.Meta(), cur.Len()
 	model, err := consistency.ParseModel(*modelName)
 	if err != nil {
 		return err
@@ -240,7 +327,7 @@ func replay(args []string) error {
 	if *metricsOut != "" {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
-		cfg.MetricsPrefix = fmt.Sprintf("cpu.%s.%s-%s%d.", tr.App, model, *arch, *window)
+		cfg.MetricsPrefix = fmt.Sprintf("cpu.%s.%s-%s%d.", meta.App, model, *arch, *window)
 	}
 	var tracer *obs.PipeTracer
 	if *pipeOut != "" {
@@ -251,26 +338,39 @@ func replay(args []string) error {
 		pr := obs.NewProgress(os.Stderr, time.Second)
 		pr.Start()
 		defer pr.Stop()
-		lane := pr.Lane(tr.App)
-		lane.SetTotal(uint64(tr.Len()))
+		lane := pr.Lane(meta.App)
+		lane.SetTotal(uint64(count))
 		cfg.Progress = lane
 	}
 	var res cpu.Result
-	switch *arch {
-	case "BASE":
-		res = cpu.RunBase(tr)
-		cpu.PublishResult(reg, cfg.MetricsPrefix, res)
-	case "SSBR":
-		res, err = cpu.RunSSBR(tr, cfg)
-	case "SS":
-		res, err = cpu.RunSS(tr, cfg)
-	case "DS":
+	if materialize {
+		closeCur()
+		closeCur = nil
+		tr, err := load(path)
+		if err != nil {
+			return err
+		}
 		res, err = cpu.RunDS(tr, cfg)
-	default:
-		return fmt.Errorf("unknown architecture %q", *arch)
-	}
-	if err != nil {
-		return err
+		if err != nil {
+			return err
+		}
+	} else {
+		switch *arch {
+		case "BASE":
+			res, err = cpu.RunBaseStream(cur)
+			cpu.PublishResult(reg, cfg.MetricsPrefix, res)
+		case "SSBR":
+			res, err = cpu.RunSSBRStream(cur, cfg)
+		case "SS":
+			res, err = cpu.RunSSStream(cur, cfg)
+		case "DS":
+			res, err = cpu.RunDSStream(cur, cfg)
+		default:
+			return fmt.Errorf("unknown architecture %q", *arch)
+		}
+		if err != nil {
+			return err
+		}
 	}
 	if *pipeOut != "" {
 		if err := obs.WritePipeTraceFile(tracer, *pipeOut); err != nil {
@@ -287,7 +387,16 @@ func replay(args []string) error {
 			return err
 		}
 	}
-	base := cpu.RunBase(tr)
+	// Second streaming pass for the BASE reference the normalization needs.
+	bc, closeBase, err := openCursor(path)
+	if err != nil {
+		return err
+	}
+	defer closeBase()
+	base, err := cpu.RunBaseStream(bc)
+	if err != nil {
+		return err
+	}
 	b := res.Breakdown
 	fmt.Printf("%s under %s (window %d, width %d): %v\n", *arch, model, *window, *width, b)
 	fmt.Printf("normalized to BASE: %.1f%%   CPI: %.2f   mispredicts: %d   prefetches: %d\n",

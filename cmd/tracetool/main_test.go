@@ -1,10 +1,72 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
+
+// TestConvertRoundTrip gates the streaming rewrite: a v3→v3 conversion is
+// byte-identical (Writer and Trace.WriteTo share the encoder), and a v2→v3
+// conversion carries every event and the header metadata across unchanged.
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "lu.trace")
+	if err := run([]string{"gen", "-app", "lu", "-scale", "small", "-o", src}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+
+	out := filepath.Join(dir, "lu.v3.trace")
+	if err := run([]string{"convert", "-o", out, src}); err != nil {
+		t.Fatalf("convert v3: %v", err)
+	}
+	want, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("v3 -> v3 conversion not byte-identical: %d vs %d bytes", len(got), len(want))
+	}
+
+	tr, err := load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := filepath.Join(dir, "lu.v2.trace")
+	f, err := os.Create(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.WriteToV2(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out2 := filepath.Join(dir, "lu.v2to3.trace")
+	if err := run([]string{"convert", "-o", out2, v2}); err != nil {
+		t.Fatalf("convert v2: %v", err)
+	}
+	conv, err := load(out2)
+	if err != nil {
+		t.Fatalf("converted trace rejected: %v", err)
+	}
+	if conv.Meta() != tr.Meta() {
+		t.Errorf("converted meta %+v, want %+v", conv.Meta(), tr.Meta())
+	}
+	if !reflect.DeepEqual(conv.Events, tr.Events) {
+		t.Error("converted events differ from source")
+	}
+	if st, err := statFile(out2); err != nil || st.Version != 3 {
+		t.Errorf("converted file version %d (err %v), want 3", st.Version, err)
+	}
+}
 
 func TestGenInfoReplayRoundTrip(t *testing.T) {
 	dir := t.TempDir()
@@ -56,5 +118,11 @@ func TestToolErrors(t *testing.T) {
 	}
 	if err := run([]string{"replay", "-model", "XX", file}); err == nil {
 		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"convert", file}); err == nil {
+		t.Error("convert without -o accepted")
+	}
+	if err := run([]string{"convert", "-o", filepath.Join(dir, "out.trace"), "/nonexistent/file.trace"}); err == nil {
+		t.Error("convert of missing file accepted")
 	}
 }

@@ -25,6 +25,14 @@ func RunBase(tr *trace.Trace) Result {
 // own memory or synchronization latency, and each instruction's
 // last-arriving edge is that same cause (busy when it added no stall).
 func RunBaseCP(tr *trace.Trace, cp *critpath.Collector) Result {
+	src := sliceSource(tr)
+	res, _ := runBase(&src, cp) // the materialized arm cannot fail
+	return res
+}
+
+// runBase is the BASE replay core over an eventSource; the streaming arm
+// can surface a decode or integrity error from the cursor.
+func runBase(src *eventSource, cp *critpath.Collector) (Result, error) {
 	var b Breakdown
 	stall := func(cause critpath.Cause, n uint64) {
 		cp.StallN(cause, n)
@@ -34,8 +42,11 @@ func RunBaseCP(tr *trace.Trace, cp *critpath.Collector) Result {
 			cp.Edge(critpath.Busy)
 		}
 	}
-	for i := range tr.Events {
-		e := &tr.Events[i]
+	for i := 0; i < src.n; i++ {
+		e, err := src.fetch()
+		if err != nil {
+			return Result{}, err
+		}
 		b.Busy++
 		switch e.Class() {
 		case isa.ClassLoad:
@@ -64,5 +75,5 @@ func RunBaseCP(tr *trace.Trace, cp *critpath.Collector) Result {
 		}
 	}
 	cp.Finish(b.Total())
-	return Result{Breakdown: b, Instructions: uint64(len(tr.Events))}
+	return Result{Breakdown: b, Instructions: uint64(src.n)}, nil
 }

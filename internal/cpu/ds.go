@@ -209,6 +209,15 @@ const maxDSCycles = uint64(1) << 40
 
 // RunDS replays tr through the dynamically scheduled processor.
 func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
+	src := sliceSource(tr)
+	return runDS(&src, cfg)
+}
+
+// runDS is the DS replay core, fed by an eventSource so the same loop
+// serves materialized traces and streaming cursors. Reorder-buffer entries
+// hold *trace.Event pointers for at most Window fetches, which the
+// streaming entry point bounds by trace.CursorLookback.
+func runDS(src *eventSource, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
@@ -223,7 +232,6 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 		cat        [5]uint64            // stall cycles by category (see catSync..catOther)
 		stallStack = scratch.stallStack // LIFO of charged stall categories, for burst credit
 		credit     int                  // excess retirements not yet converted to credit
-		events     = tr.Events
 		window     = cfg.Window
 		entries    = scratch.entries
 
@@ -371,7 +379,7 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 		if fetchBlockedBy >= 0 {
 			return critpath.BranchRefill
 		}
-		if memLive > 0 && idx >= len(events) {
+		if memLive > 0 && idx >= src.n {
 			return critpath.WriteLat // draining buffered writes at the end
 		}
 		return critpath.Other
@@ -383,7 +391,7 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 	dog := newWatchdog(cfg.WatchdogBudget)
 	dsState := func() string {
 		s := fmt.Sprintf("head=%d next=%d decoded=%d/%d memLive=%d storeBuf=%d outstandingMiss=%d fetchBlockedBy=%d",
-			headSeq, nextSeq, idx, len(events), memLive, sbCount, outMiss, fetchBlockedBy)
+			headSeq, nextSeq, idx, src.n, memLive, sbCount, outMiss, fetchBlockedBy)
 		if headSeq < nextSeq {
 			h := at(headSeq)
 			s += fmt.Sprintf("; ROB head seq=%d op=%s deps=%d dispatched=%t done=%t",
@@ -410,7 +418,7 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 		jumped bool   // last iteration time-skipped; poll on landing
 	)
 
-	for idx < len(events) || headSeq < nextSeq || memLive > 0 {
+	for idx < src.n || headSeq < nextSeq || memLive > 0 {
 		if t >= maxDSCycles {
 			return Result{}, fmt.Errorf("cpu: DS simulation exceeded %d cycles (stuck?)", maxDSCycles)
 		}
@@ -604,7 +612,7 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 				}
 			} else if fetchBlockedBy >= 0 {
 				c = catBranch
-			} else if memLive > 0 && idx >= len(events) {
+			} else if memLive > 0 && idx >= src.n {
 				c = catWrite // draining the store buffer at the end
 			}
 			cat[c]++
@@ -671,10 +679,13 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 
 		// Phase 5: decode up to IssueWidth instructions into the ROB.
 		for n := 0; n < cfg.IssueWidth; n++ {
-			if idx >= len(events) || fetchBlockedBy >= 0 || nextSeq-headSeq >= window {
+			if idx >= src.n || fetchBlockedBy >= 0 || nextSeq-headSeq >= window {
 				break
 			}
-			ev := &events[idx]
+			ev, err := src.fetch()
+			if err != nil {
+				return Result{}, err
+			}
 			seq := nextSeq
 			en := at(seq)
 			*en = dsEntry{seq: seq, ev: ev, class: ev.Class(), kind: consistency.KindOf(ev.Instr.Op), decodedAt: t, waiters: en.waiters[:0]}
@@ -829,7 +840,7 @@ func RunDS(tr *trace.Trace, cfg Config) (Result, error) {
 
 	res := Result{
 		Breakdown:     bd,
-		Instructions:  uint64(len(events)),
+		Instructions:  uint64(src.n),
 		Mispredicts:   mispredicts,
 		Prefetches:    prefetches,
 		ReadMissDelay: hist,

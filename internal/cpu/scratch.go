@@ -48,7 +48,8 @@ func (a *opArena) reset() { a.bi, a.n = 0, 0 }
 func (a *opArena) newMemOp(seq int, e *trace.Event) *memOp {
 	op := a.alloc()
 	op.seq = seq
-	op.op = e.Instr.Op
+	op.instr = e.Instr
+	op.pc = e.PC
 	op.kind = consistency.KindOf(e.Instr.Op)
 	op.addr = e.Addr
 	op.latency = e.Latency
@@ -102,6 +103,7 @@ func (s *dsScratch) release() {
 // staticScratch is the reusable working set of one RunSS/RunSSBR replay.
 type staticScratch struct {
 	ops   []*memOp
+	wake  []uint64 // opWindow completion-time heap (capacity reuse)
 	arena opArena
 }
 
@@ -116,6 +118,7 @@ func (s *staticScratch) release() {
 		s.ops[i] = nil
 	}
 	s.ops = s.ops[:0]
+	s.wake = s.wake[:0]
 	s.arena.reset()
 	staticPool.Put(s)
 }

@@ -14,7 +14,8 @@ import (
 // static and dynamic processor models.
 type memOp struct {
 	seq     int // program-order sequence (trace index)
-	op      isa.Op
+	instr   isa.Instr
+	pc      int32
 	kind    consistency.Kind
 	addr    uint64
 	latency uint32
@@ -39,9 +40,55 @@ type memOp struct {
 }
 
 // opWindow is the program-ordered set of decoded-but-unperformed accesses
-// against which consistency constraints are evaluated.
+// against which consistency constraints are evaluated. wake is a min-heap
+// of the performAt cycles of issued-but-unperformed accesses: the
+// completion scan and the time-skip next-event computation read its
+// minimum instead of scanning the window, so both are O(1) when nothing
+// completes. The heap is exactly that multiset — entries are pushed when
+// the port issues and popped when the completion scan performs them — so
+// consulting it is byte-identical to the scans it replaces.
 type opWindow struct {
-	ops []*memOp
+	ops  []*memOp
+	wake []uint64
+}
+
+// wakePush inserts a completion time into the wake heap.
+func (w *opWindow) wakePush(at uint64) {
+	w.wake = append(w.wake, at)
+	h := w.wake
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[i] >= h[p] {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// wakePop removes the minimum completion time from the wake heap.
+func (w *opWindow) wakePop() {
+	h := w.wake
+	n := len(h) - 1
+	h[0] = h[n]
+	w.wake = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h[l] < h[s] {
+			s = l
+		}
+		if r < n && h[r] < h[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
 }
 
 func (w *opWindow) add(op *memOp) { w.ops = append(w.ops, op) }
@@ -137,6 +184,7 @@ func (w *opWindow) issueOne(t uint64, model consistency.Model, eligible func(*me
 				lat = 1 // forwarded from the store buffer
 			}
 			op.performAt = t + lat
+			w.wakePush(op.performAt)
 			return op
 		}
 		if !op.performed {
@@ -151,7 +199,8 @@ func (w *opWindow) issueOne(t uint64, model consistency.Model, eligible func(*me
 // releases enter a WriteBufDepth-deep write buffer drained in FIFO order
 // subject to the consistency model; acquires stall until they complete.
 func RunSSBR(tr *trace.Trace, cfg Config) (Result, error) {
-	return runStatic(tr, cfg, false)
+	src := sliceSource(tr)
+	return runStatic(&src, cfg, false)
 }
 
 // RunSS replays tr through the statically scheduled, non-blocking-read
@@ -159,10 +208,11 @@ func RunSSBR(tr *trace.Trace, cfg Config) (Result, error) {
 // stalls only at the first instruction that uses a pending return value —
 // "the stall is delayed up to the first use of the return value" (§4.1).
 func RunSS(tr *trace.Trace, cfg Config) (Result, error) {
-	return runStatic(tr, cfg, true)
+	src := sliceSource(tr)
+	return runStatic(&src, cfg, true)
 }
 
-func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, error) {
+func runStatic(src *eventSource, cfg Config, nonBlockingReads bool) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
@@ -171,7 +221,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 	scratch := getStaticScratch()
 	var (
 		bd        Breakdown
-		win       = opWindow{ops: scratch.ops}
+		win       = opWindow{ops: scratch.ops, wake: scratch.wake}
 		wbCount   int // stores + releases in the write buffer
 		rbCount   int // pending loads in the read buffer (SS)
 		blockLoad *memOp
@@ -180,13 +230,13 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		srcBuf    [2]uint8
 		t         uint64
 		idx       int
+		curEv     *trace.Event // current decode slot, fetched once per accept
 	)
 	defer func() {
-		scratch.ops = win.ops
+		scratch.ops, scratch.wake = win.ops, win.wake
 		scratch.release()
 	}()
 
-	events := tr.Events
 	eligible := func(op *memOp) bool { return true } // all window entries are in flight
 
 	// Observability: buffer-occupancy histograms when metrics are enabled
@@ -264,7 +314,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 	dog := newWatchdog(cfg.WatchdogBudget)
 	staticState := func() string {
 		s := fmt.Sprintf("accepted=%d/%d window=%d writeBuf=%d readBuf=%d",
-			idx, len(events), len(win.ops), wbCount, rbCount)
+			idx, src.n, len(win.ops), wbCount, rbCount)
 		if blockAcq != nil {
 			s += fmt.Sprintf("; blocked on acquire seq=%d performed=%t wall=%d",
 				blockAcq.seq, blockAcq.performed, blockAcq.wall)
@@ -275,7 +325,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		if len(win.ops) > 0 {
 			h := win.ops[0]
 			s += fmt.Sprintf("; oldest access seq=%d op=%s issued=%t performed=%t",
-				h.seq, h.op, h.issued, h.performed)
+				h.seq, h.instr.Op, h.issued, h.performed)
 		}
 		return s
 	}
@@ -293,7 +343,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		jumped bool   // last iteration time-skipped; poll on landing
 	)
 
-	for idx < len(events) || len(win.ops) > 0 {
+	for idx < src.n || len(win.ops) > 0 {
 		// Iteration-strided polls (plus one at every jump landing): a
 		// cycle-masked check could be jumped over by time-skip.
 		if iter&(watchdogStride-1) == 0 || jumped {
@@ -311,30 +361,37 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		prevAcq, prevLoad := blockAcq, blockLoad
 		prevBd := bd
 
-		// Phase 1: completions.
+		// Phase 1: completions. The wake heap's minimum is the earliest
+		// in-flight completion, so when it is still in the future the scan
+		// below could not mark anything performed and is skipped outright —
+		// that is what makes a quiet stalled cycle O(1) instead of O(window).
 		changed := false
-		for _, op := range win.ops {
-			if op.issued && !op.performed && op.performAt <= t {
-				op.performed = true
-				changed = true
-				if cfg.Pipe != nil {
-					e := &events[op.seq]
-					cfg.Pipe.Record(obs.InstrRecord{
-						Seq: uint64(op.seq), PC: e.PC, Disasm: e.Instr.String(),
-						DecodedAt: op.decodedAt, IssuedAt: op.issuedAt,
-						DoneAt: op.performAt, RetiredAt: op.performAt,
-						Miss: e.Miss,
-					})
-				}
-				switch {
-				case op.kind&(consistency.Store|consistency.Release) != 0 && op.kind&consistency.Acquire == 0:
-					wbCount-- // data stores and releases drain from the write buffer
-				case op.kind == consistency.Load:
-					rbCount--
-					if regOwner[op.destReg] == op {
-						regOwner[op.destReg] = nil
+		if len(win.wake) > 0 && win.wake[0] <= t {
+			for _, op := range win.ops {
+				if op.issued && !op.performed && op.performAt <= t {
+					op.performed = true
+					changed = true
+					if cfg.Pipe != nil {
+						cfg.Pipe.Record(obs.InstrRecord{
+							Seq: uint64(op.seq), PC: op.pc, Disasm: op.instr.String(),
+							DecodedAt: op.decodedAt, IssuedAt: op.issuedAt,
+							DoneAt: op.performAt, RetiredAt: op.performAt,
+							Miss: op.miss,
+						})
+					}
+					switch {
+					case op.kind&(consistency.Store|consistency.Release) != 0 && op.kind&consistency.Acquire == 0:
+						wbCount-- // data stores and releases drain from the write buffer
+					case op.kind == consistency.Load:
+						rbCount--
+						if regOwner[op.destReg] == op {
+							regOwner[op.destReg] = nil
+						}
 					}
 				}
+			}
+			for len(win.wake) > 0 && win.wake[0] <= t {
+				win.wakePop()
 			}
 		}
 		if changed {
@@ -361,8 +418,14 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 				stalled = true
 			}
 		}
-		if !stalled && blockAcq == nil && blockLoad == nil && idx < len(events) {
-			e := &events[idx]
+		if !stalled && blockAcq == nil && blockLoad == nil && idx < src.n {
+			if curEv == nil {
+				var ferr error
+				if curEv, ferr = src.fetch(); ferr != nil {
+					return Result{}, ferr
+				}
+			}
+			e := curEv
 			switch e.Class() {
 			case isa.ClassALU, isa.ClassBranch, isa.ClassHalt:
 				if p := pendingProducer(e, &regOwner, srcBuf[:0]); nonBlockingReads && p != nil {
@@ -461,6 +524,9 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		// Phase 3: cache port issues one access.
 		issued := win.issueOne(t, cfg.Model, eligible)
 
+		if idx != prevIdx {
+			curEv = nil // accepted: the next accept fetches the next event
+		}
 		if changed || idx != prevIdx {
 			dog.last = t
 		}
@@ -483,11 +549,11 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		if skip && !changed && idx == prevIdx && issued == nil &&
 			blockAcq == prevAcq && blockLoad == prevLoad {
 			if c, ok := soleStallCharge(&prevBd, &bd); ok {
+				// The wake heap's minimum is exactly the min performAt over
+				// issued-unperformed accesses (all > t after phase 1).
 				next := ^uint64(0)
-				for _, op := range win.ops {
-					if op.issued && !op.performed && op.performAt < next {
-						next = op.performAt
-					}
+				if len(win.wake) > 0 {
+					next = win.wake[0]
 				}
 				// A performed acquire has been compacted out of the window
 				// but still blocks the processor until its wall.
@@ -518,7 +584,7 @@ func runStatic(tr *trace.Trace, cfg Config, nonBlockingReads bool) (Result, erro
 		t++
 	}
 
-	res := Result{Breakdown: bd, Instructions: uint64(len(events))}
+	res := Result{Breakdown: bd, Instructions: uint64(src.n)}
 	cp.Finish(bd.Total())
 	wbHist.Close()
 	rbHist.Close()

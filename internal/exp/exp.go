@@ -99,12 +99,21 @@ func (o *Options) fillDefaults() {
 }
 
 // AppRun couples a generated trace with the multiprocessor-side statistics.
+// The trace is the application's single decoded arena: generated once,
+// frozen to exact size, and shared read-only by every figure, sweep, and
+// ablation cell that replays this application.
 type AppRun struct {
 	App    string
 	Trace  *trace.Trace
 	Caches []mem.Stats
 	CPUs   []tango.CPUStats
 }
+
+// TraceView returns a read-only view of the cached decoded trace: a
+// shallow *Trace whose Events slice is capacity-capped at its length, so
+// concurrent replay cells share the one decoded arena without any cell
+// being able to grow it or alias past its end.
+func (r *AppRun) TraceView() *trace.Trace { return r.Trace.View() }
 
 // Experiment lazily generates and caches application traces.
 type Experiment struct {
@@ -247,7 +256,10 @@ func (e *Experiment) generate(app string) (run *AppRun, err error) {
 	if err := res.Trace.Validate(); err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", app, err)
 	}
-	return &AppRun{App: app, Trace: res.Trace, Caches: res.CacheStats, CPUs: res.CPUStats}, nil
+	// Freeze trims the generation-time append slack off the event arena, so
+	// the copy cached for the whole sweep is exactly one event's worth of
+	// memory per event — the arena every cell's view aliases.
+	return &AppRun{App: app, Trace: res.Trace.Freeze(), Caches: res.CacheStats, CPUs: res.CPUStats}, nil
 }
 
 // Apps returns the application list for this experiment.

@@ -229,93 +229,135 @@ func runCells(tr *trace.Trace, cells []cell, workers int, board *obs.JobBoard, l
 	return cols, nil
 }
 
-// perAppCells generates every application's trace concurrently, then fans
-// the full apps × cells matrix out as one flat job list — the scheduler's
-// main entry point for figures and sweeps. Failure is contained at both
-// phases: an application whose trace generation fails has all its cells
-// marked failed while the other applications' sweeps complete, and a failed
-// cell is marked without disturbing its neighbours. The partial results come
-// back alongside a *PartialError; only cancellation aborts outright.
+// perAppCells runs the full apps × cells matrix — the scheduler's main
+// entry point for figures and sweeps. Trace generation and replay are
+// pipelined through one worker pool: every application's generation is
+// enqueued up front, and the moment a generation completes its replay
+// cells become claimable, so workers replay finished traces while other
+// applications are still generating — there is no barrier between the two
+// phases. Results land in by-index slots and failures are keyed by cell
+// index, so the output is byte-identical to the former generate-then-fan
+// two-phase schedule at any worker count. Failure is contained at both
+// stages: an application whose trace generation fails has all its cells
+// marked failed while the other applications' sweeps complete, and a
+// failed cell is marked without disturbing its neighbours. The partial
+// results come back alongside a *PartialError; only cancellation aborts
+// outright.
 func (e *Experiment) perAppCells(cells []cell) ([]AppColumns, error) {
 	apps := e.Apps()
 	o := &e.opts
 	nc := len(cells)
 
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := len(apps) * (nc + 1); workers > max {
+		workers = max
+	}
+
 	runs := make([]*AppRun, len(apps))
-	genErrs := runJobsAll(o.Ctx, len(apps), o.Workers, func(i int) error {
-		r, err := e.Run(apps[i])
-		if err != nil {
-			return err
+	genErrs := make([]error, len(apps))
+	cellErrs := make([][]error, len(apps))
+	cols := make([][]Column, len(apps))
+	for i := range apps {
+		cols[i] = make([]Column, nc)
+		cellErrs[i] = make([]error, nc)
+	}
+
+	// The job stream: c == -1 generates app a's trace; c >= 0 replays one
+	// cell over it. The channel is buffered for every job that can ever
+	// exist, so workers (which enqueue an app's cells after generating its
+	// trace) never block on the send. pending counts enqueued-but-unfinished
+	// jobs; a generation adds its cells before retiring itself, so the count
+	// can only reach zero when the whole matrix is done.
+	type job struct{ a, c int }
+	jobs := make(chan job, len(apps)*(nc+1))
+	var (
+		pending atomic.Int64
+		wg      sync.WaitGroup
+	)
+	pending.Store(int64(len(apps)))
+	done := func() {
+		if pending.Add(-1) == 0 {
+			close(jobs)
 		}
-		runs[i] = r
-		return nil
-	})
+	}
+	for a := range apps {
+		jobs <- job{a, -1}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				a, c := j.a, j.c
+				if err := ctxDone(o.Ctx); err != nil {
+					if c < 0 {
+						genErrs[a] = err
+					}
+					done()
+					continue
+				}
+				if c < 0 {
+					r, err := e.Run(apps[a])
+					if err != nil {
+						genErrs[a] = err
+						done()
+						continue
+					}
+					runs[a] = r
+					pending.Add(int64(nc))
+					for cc := 0; cc < nc; cc++ {
+						jobs <- job{a, cc}
+					}
+					done()
+					continue
+				}
+				site := apps[a] + " " + cells[c].label
+				bj := o.Board.Enqueue(site)
+				o.Board.Start(bj)
+				cerr := runCell(runs[a].TraceView(), cells[c], o, site, a*nc+c, &cols[a][c])
+				if cerr != nil {
+					cellErrs[a][c] = cerr
+					o.Board.Finish(bj, cerr)
+				} else {
+					o.Board.Finish(bj, nil)
+				}
+				done()
+			}
+		}()
+	}
+	wg.Wait()
 	if err := ctxDone(o.Ctx); err != nil {
 		return nil, fmt.Errorf("exp: sweep canceled: %w", err)
 	}
 
 	out := make([]AppColumns, len(apps))
-	cols := make([][]Column, len(apps))
-	for i, app := range apps {
-		out[i].App = app
-		cols[i] = make([]Column, nc)
-	}
-
 	var failed []*CellError
-	for a, gerr := range genErrs {
-		if gerr == nil {
-			continue
-		}
-		ce := &CellError{Label: apps[a] + " (trace generation)", Index: a * nc, Attempts: 1, Err: gerr}
-		failed = append(failed, ce)
-		for c := range cells {
-			cols[a][c] = failedColumn(cells[c], ce)
-		}
-	}
-
-	// Fan out the cells of the applications that do have a trace.
-	type cellJob struct{ a, c, job int }
-	var cjs []cellJob
-	for a := range apps {
+	for a, app := range apps {
+		out[a].App = app
 		if genErrs[a] != nil {
-			continue
+			ce := &CellError{Label: app + " (trace generation)", Index: a * nc, Attempts: 1, Err: genErrs[a]}
+			failed = append(failed, ce)
+			for c := range cells {
+				cols[a][c] = failedColumn(cells[c], ce)
+			}
+		} else {
+			for c := range cells {
+				if err := cellErrs[a][c]; err != nil {
+					ce := err.(*CellError)
+					cols[a][c] = failedColumn(cells[c], ce)
+					failed = append(failed, ce)
+				}
+			}
 		}
-		for c := range cells {
-			cjs = append(cjs, cellJob{a, c, o.Board.Enqueue(apps[a] + " " + cells[c].label)})
-		}
-	}
-	cellErrs := runJobsAll(o.Ctx, len(cjs), o.Workers, func(j int) error {
-		cj := cjs[j]
-		site := apps[cj.a] + " " + cells[cj.c].label
-		o.Board.Start(cj.job)
-		cerr := runCell(runs[cj.a].Trace, cells[cj.c], o, site, cj.a*nc+cj.c, &cols[cj.a][cj.c])
-		if cerr != nil {
-			o.Board.Finish(cj.job, cerr)
-			return cerr
-		}
-		o.Board.Finish(cj.job, nil)
-		return nil
-	})
-	if err := ctxDone(o.Ctx); err != nil {
-		return nil, fmt.Errorf("exp: sweep canceled: %w", err)
-	}
-	for j, err := range cellErrs {
-		if err == nil {
-			continue
-		}
-		ce := err.(*CellError)
-		cj := cjs[j]
-		cols[cj.a][cj.c] = failedColumn(cells[cj.c], ce)
-		failed = append(failed, ce)
-	}
-
-	for i := range out {
-		normalize(cols[i])
-		out[i].Cols = cols[i]
+		normalize(cols[a])
+		out[a].Cols = cols[a]
 	}
 	if failed != nil {
-		// Generation failures and cell failures were collected in separate
-		// passes; order by index so the report is stable at any worker count.
+		// The loop above emits failures in index order already; keep the
+		// sort as a guard so the report is stable at any worker count.
 		sort.Slice(failed, func(i, j int) bool { return failed[i].Index < failed[j].Index })
 		return out, &PartialError{Total: len(apps) * nc, Cells: failed}
 	}
@@ -323,21 +365,23 @@ func (e *Experiment) perAppCells(cells []cell) ([]AppColumns, error) {
 }
 
 // perAppJobs runs fn once per configured application with its generated
-// trace, bounded by Options.Workers; traces are generated concurrently
-// first. fn must write its result into a slot keyed by the app index.
+// trace, bounded by Options.Workers. Generation is folded into each app's
+// job rather than batched up front, so fn starts on the first finished
+// trace while later applications are still generating. fn must write its
+// result into a slot keyed by the app index.
 func (e *Experiment) perAppJobs(fn func(i int, run *AppRun) error) error {
 	apps := e.Apps()
-	runs, err := e.RunAll(apps...)
-	if err != nil {
-		return err
-	}
 	jobs := make([]int, len(apps))
 	for i, app := range apps {
 		jobs[i] = e.opts.Board.Enqueue(app)
 	}
 	return runJobs(len(apps), e.opts.Workers, func(i int) error {
+		run, err := e.Run(apps[i])
+		if err != nil {
+			return err
+		}
 		e.opts.Board.Start(jobs[i])
-		err := fn(i, runs[i])
+		err = fn(i, run)
 		e.opts.Board.Finish(jobs[i], err)
 		return err
 	})

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/binary"
+	"io"
 	"testing"
 )
 
@@ -65,10 +66,35 @@ func FuzzReadTrace(f *testing.F) {
 	huge = append(huge, cnt[:]...)
 	f.Add(huge)
 
+	// Cursor-targeted seeds: a chunk whose declared event count straddles
+	// the ring-lookback boundary, and a stream whose last chunk is torn
+	// exactly at the footer so only the streaming footer check can notice.
+	var big bytes.Buffer
+	if _, err := syntheticTrace(2*chunkEvents + 137).WriteTo(&big); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(big.Bytes())
+	f.Add(append([]byte(nil), big.Bytes()[:big.Len()-footerSize-1]...))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadTrace(bytes.NewReader(data))
+		ctr, cerr := cursorScan(data)
+		// The streaming and materializing readers must agree on
+		// acceptance: both reject, or both accept with identical events.
+		if (err == nil) != (cerr == nil) {
+			t.Fatalf("readers disagree: ReadTrace err=%v, Cursor err=%v", err, cerr)
+		}
 		if err != nil {
 			return
+		}
+		if ctr.App != tr.App || ctr.CPU != tr.CPU || ctr.NumCPUs != tr.NumCPUs ||
+			ctr.MissPenalty != tr.MissPenalty || len(ctr.Events) != len(tr.Events) {
+			t.Fatal("cursor metadata or event count differs from ReadTrace")
+		}
+		for i := range tr.Events {
+			if tr.Events[i] != ctr.Events[i] {
+				t.Fatalf("cursor event %d differs from ReadTrace", i)
+			}
 		}
 		// Accepted traces must be internally consistent and round-trip.
 		if err := tr.Validate(); err != nil {
@@ -82,4 +108,25 @@ func FuzzReadTrace(f *testing.F) {
 			t.Fatalf("re-serialized trace rejected: %v", err)
 		}
 	})
+}
+
+// cursorScan streams data through a Cursor, materializing what it accepts,
+// so the fuzzer can compare the two readers byte-for-byte.
+func cursorScan(data []byte) (*Trace, error) {
+	c, err := NewCursor(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	m := c.Meta()
+	tr := &Trace{App: m.App, CPU: m.CPU, NumCPUs: m.NumCPUs, MissPenalty: m.MissPenalty}
+	for {
+		e, err := c.Next()
+		if err != nil {
+			if err == io.EOF && len(tr.Events) == c.Len() {
+				return tr, nil
+			}
+			return nil, err
+		}
+		tr.Events = append(tr.Events, *e)
+	}
 }

@@ -36,14 +36,21 @@ package trace
 // Wait uint32); version 2 added the whole-file CRC footer. ReadTrace still
 // accepts both, and WriteToV2 still emits version 2 for tools that need it
 // and for benchmarking the formats against each other.
+//
+// There are two readers over this container: ReadTrace materializes the
+// whole event slice, and Cursor (cursor.go) streams chunk-resident events
+// through a fixed ring without ever holding the full trace. Both are built
+// from the same header/chunk/record helpers below, so the accepted byte
+// streams are identical by construction of the checks, and the equivalence
+// is additionally pinned by tests.
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
-	"hash"
 	"hash/crc32"
 	"io"
+	"io/fs"
 
 	"dynsched/internal/isa"
 )
@@ -89,6 +96,9 @@ const maxEventEnc = 55
 
 const chunkHdrSize = 8 // nEvents uint32 + nBytes uint32
 
+// maxEventCount is the implausibility bound on the declared event count.
+const maxEventCount = 1 << 34
+
 // Flat-record flag bits (versions 1 and 2).
 const (
 	flagMiss  = 1 << 0
@@ -109,55 +119,23 @@ const (
 )
 
 // WriteTo serializes the trace in the current (version 3) format. It
-// returns the number of bytes written.
+// returns the number of bytes written. It is a thin loop over the streaming
+// Writer, so file-producing tools that never materialize a Trace emit
+// byte-identical containers.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	sum := crc32.NewIEEE()
-	var n int64
-	put := func(b []byte) error {
-		m, err := bw.Write(b)
-		n += int64(m)
-		sum.Write(b[:m])
-		return err
-	}
-	if err := put(t.encodeHeader(formatVersion)); err != nil {
-		return n, err
-	}
-	buf := make([]byte, 0, 16*1024)
-	var ch [chunkHdrSize + 4]byte
-	for base := 0; base < len(t.Events); base += chunkEvents {
-		end := base + chunkEvents
-		if end > len(t.Events) {
-			end = len(t.Events)
-		}
-		buf = buf[:0]
-		var predPC int32
-		var prevAddr uint64
-		for i := base; i < end; i++ {
-			buf = appendEventV3(buf, &t.Events[i], &predPC, &prevAddr)
-		}
-		binary.LittleEndian.PutUint32(ch[0:4], uint32(end-base))
-		binary.LittleEndian.PutUint32(ch[4:8], uint32(len(buf)))
-		if err := put(ch[:chunkHdrSize]); err != nil {
-			return n, err
-		}
-		if err := put(buf); err != nil {
-			return n, err
-		}
-		binary.LittleEndian.PutUint32(ch[0:4], crc32.ChecksumIEEE(buf))
-		if err := put(ch[:4]); err != nil {
-			return n, err
-		}
-	}
-	var foot [footerSize]byte
-	copy(foot[0:4], footerMagic[:])
-	binary.LittleEndian.PutUint32(foot[4:8], sum.Sum32())
-	m, err := bw.Write(foot[:])
-	n += int64(m)
+	sw, err := NewWriter(w, t.Meta(), uint64(len(t.Events)))
 	if err != nil {
-		return n, err
+		return sw.BytesWritten(), err
 	}
-	return n, bw.Flush()
+	for i := range t.Events {
+		if err := sw.Write(&t.Events[i]); err != nil {
+			return sw.BytesWritten(), err
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return sw.BytesWritten(), err
+	}
+	return sw.BytesWritten(), nil
 }
 
 // WriteToV2 serializes the trace in the previous flat-record format
@@ -173,7 +151,7 @@ func (t *Trace) WriteToV2(w io.Writer) (int64, error) {
 		sum.Write(b[:m])
 		return err
 	}
-	if err := put(t.encodeHeader(v2Version)); err != nil {
+	if err := put(encodeHeader(t.Meta(), v2Version, uint64(len(t.Events)))); err != nil {
 		return n, err
 	}
 	buf := make([]byte, recBatch*eventSize)
@@ -222,17 +200,17 @@ func (t *Trace) WriteToV2(w io.Writer) (int64, error) {
 
 // encodeHeader builds the fixed header, app name, and event count shared by
 // every format version.
-func (t *Trace) encodeHeader(version uint32) []byte {
-	b := make([]byte, 24, 24+len(t.App)+8)
+func encodeHeader(m Meta, version uint32, count uint64) []byte {
+	b := make([]byte, 24, 24+len(m.App)+8)
 	copy(b[0:4], traceMagic[:])
 	binary.LittleEndian.PutUint32(b[4:8], version)
-	binary.LittleEndian.PutUint32(b[8:12], uint32(t.CPU))
-	binary.LittleEndian.PutUint32(b[12:16], uint32(t.NumCPUs))
-	binary.LittleEndian.PutUint32(b[16:20], t.MissPenalty)
-	binary.LittleEndian.PutUint32(b[20:24], uint32(len(t.App)))
-	b = append(b, t.App...)
+	binary.LittleEndian.PutUint32(b[8:12], uint32(m.CPU))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(m.NumCPUs))
+	binary.LittleEndian.PutUint32(b[16:20], m.MissPenalty)
+	binary.LittleEndian.PutUint32(b[20:24], uint32(len(m.App)))
+	b = append(b, m.App...)
 	var cnt [8]byte
-	binary.LittleEndian.PutUint64(cnt[:], uint64(len(t.Events)))
+	binary.LittleEndian.PutUint64(cnt[:], count)
 	return append(b, cnt[:]...)
 }
 
@@ -292,6 +270,181 @@ func appendEventV3(buf []byte, e *Event, predPC *int32, prevAddr *uint64) []byte
 	return buf
 }
 
+// readHeader parses the magic, version, machine parameters, app name, and
+// declared event count shared by every format version, folding the consumed
+// bytes into the running whole-file CRC at *sum. The checksum is a plain
+// uint32 advanced with crc32.Update rather than a hash.Hash32 so the fixed
+// read buffers never escape through an interface call (the streaming read
+// path is allocation-free per chunk).
+func readHeader(br *bufio.Reader, sum *uint32) (version uint32, m Meta, count uint64, err error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, m, 0, fmt.Errorf("trace: short header: %w", err)
+	}
+	*sum = crc32.Update(*sum, crc32.IEEETable, hdr[:])
+	if [4]byte(hdr[0:4]) != traceMagic {
+		return 0, m, 0, fmt.Errorf("trace: bad magic %q", hdr[0:4])
+	}
+	version = binary.LittleEndian.Uint32(hdr[4:8])
+	switch version {
+	case legacyVersion, v2Version, formatVersion:
+	default:
+		return 0, m, 0, fmt.Errorf("trace: unsupported format version %d (want %d, %d, or %d)",
+			version, legacyVersion, v2Version, formatVersion)
+	}
+	m.CPU = int(binary.LittleEndian.Uint32(hdr[8:12]))
+	m.NumCPUs = int(binary.LittleEndian.Uint32(hdr[12:16]))
+	m.MissPenalty = binary.LittleEndian.Uint32(hdr[16:20])
+	appLen := binary.LittleEndian.Uint32(hdr[20:24])
+	if appLen > 1<<16 {
+		return 0, m, 0, fmt.Errorf("trace: implausible app name length %d", appLen)
+	}
+	app := make([]byte, appLen)
+	if _, err := io.ReadFull(br, app); err != nil {
+		return 0, m, 0, fmt.Errorf("trace: short app name: %w", err)
+	}
+	*sum = crc32.Update(*sum, crc32.IEEETable, app)
+	m.App = string(app)
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return 0, m, 0, fmt.Errorf("trace: short count: %w", err)
+	}
+	*sum = crc32.Update(*sum, crc32.IEEETable, cnt[:])
+	count = binary.LittleEndian.Uint64(cnt[:])
+	if count > maxEventCount {
+		return 0, m, 0, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	return version, m, count, nil
+}
+
+// readChunkV3 reads and CRC-verifies one version-3 chunk frame at event
+// offset read (of count total), reusing *buf for the payload. It returns the
+// verified payload (aliasing *buf) and the declared event count, so the
+// caller decodes only bytes whose checksum already matched.
+func readChunkV3(br *bufio.Reader, sum *uint32, buf *[]byte, read, count uint64) ([]byte, int, error) {
+	// The chunk header and trailing CRC are read through slices of the
+	// reusable payload buffer rather than stack arrays: a stack array
+	// passed to io.ReadFull escapes through the io.Reader interface and
+	// would cost two heap allocations per chunk on the streaming path.
+	if cap(*buf) < chunkHdrSize {
+		*buf = make([]byte, 0, 1<<12)
+	}
+	hdr := (*buf)[:chunkHdrSize]
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, 0, fmt.Errorf("trace: short chunk header at event %d: %w", read, err)
+	}
+	*sum = crc32Append(*sum, hdr)
+	nEvents := binary.LittleEndian.Uint32(hdr[0:4])
+	nBytes := binary.LittleEndian.Uint32(hdr[4:8])
+	if nEvents == 0 || nEvents > chunkEvents || uint64(nEvents) > count-read {
+		return nil, 0, fmt.Errorf("trace: chunk claims %d events with %d remaining", nEvents, count-read)
+	}
+	if nBytes < 2*nEvents || nBytes > nEvents*maxEventEnc {
+		return nil, 0, fmt.Errorf("trace: chunk of %d events claims implausible size %d", nEvents, nBytes)
+	}
+	if uint32(cap(*buf)) < nBytes+4 {
+		// Grow geometrically so a stream of slightly-growing chunks costs
+		// O(log) allocations, not one per chunk. +4 leaves room to read
+		// the chunk CRC behind the payload.
+		newCap := 2 * cap(*buf)
+		if uint32(newCap) < nBytes+4 {
+			newCap = int(nBytes) + 4
+		}
+		*buf = make([]byte, 0, newCap)
+	}
+	payload := (*buf)[:nBytes]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, 0, fmt.Errorf("trace: short chunk payload at event %d: %w", read, err)
+	}
+	*sum = crc32Append(*sum, payload)
+	cb := (*buf)[nBytes : nBytes+4]
+	if _, err := io.ReadFull(br, cb); err != nil {
+		return nil, 0, fmt.Errorf("trace: short chunk CRC at event %d: %w", read, err)
+	}
+	*sum = crc32Append(*sum, cb)
+	want := binary.LittleEndian.Uint32(cb)
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, 0, fmt.Errorf("trace: chunk CRC mismatch at event %d: computed %08x, header says %08x", read, got, want)
+	}
+	return payload, int(nEvents), nil
+}
+
+// readFooter reads and checks the "DSCR"+crc32 trailer of versions ≥ 2
+// against the running whole-file checksum.
+func readFooter(br *bufio.Reader, sum uint32) error {
+	var foot [footerSize]byte
+	if _, err := io.ReadFull(br, foot[:]); err != nil {
+		return fmt.Errorf("trace: short CRC footer: %w", err)
+	}
+	if [4]byte(foot[0:4]) != footerMagic {
+		return fmt.Errorf("trace: bad CRC footer magic %q", foot[0:4])
+	}
+	want := binary.LittleEndian.Uint32(foot[4:8])
+	if got := sum; got != want {
+		return fmt.Errorf("trace: CRC mismatch: computed %08x, footer says %08x (corrupted or torn file)", got, want)
+	}
+	return nil
+}
+
+// inputSize reports the byte size of the reader's underlying input when it
+// is knowable without consuming it: a regular file (anything with a Stat
+// method, e.g. *os.File) or an in-memory reader with a Len method
+// (bytes.Reader, strings.Reader). ReadTrace uses it to bound the Events
+// preallocation against what the input could physically contain.
+func inputSize(r io.Reader) (int64, bool) {
+	switch v := r.(type) {
+	case interface{ Stat() (fs.FileInfo, error) }:
+		if fi, err := v.Stat(); err == nil && fi.Mode().IsRegular() {
+			return fi.Size(), true
+		}
+	case interface{ Len() int }:
+		return int64(v.Len()), true
+	}
+	return 0, false
+}
+
+// eventCap converts the header's declared event count into a safe Events
+// preallocation. When the input size is known, the count is trusted only up
+// to the number of events the remaining bytes could minimally encode (2
+// bytes each for version 3, a 40-byte record for the flat formats), so a
+// corrupted header claiming 2^34 events cannot allocate hundreds of
+// gigabytes before the short read is noticed. When the size is unknown
+// (a pipe, a network stream), the preallocation falls back to one decode
+// batch and the slice grows as data actually arrives.
+func eventCap(count uint64, version uint32, size int64, sized bool) int {
+	minPer, fallback := uint64(eventSize), uint64(recBatch)
+	if version == formatVersion {
+		minPer, fallback = 2, chunkEvents
+	}
+	if sized {
+		if maxEv := uint64(size) / minPer; count > maxEv {
+			count = maxEv
+		}
+		return int(count)
+	}
+	if count > fallback {
+		count = fallback
+	}
+	return int(count)
+}
+
+// growEvents extends ev by n zeroed slots, doubling the backing array when
+// it must grow (the unsized-input fallback path; sized inputs preallocate
+// exactly once).
+func growEvents(ev []Event, n int) []Event {
+	need := len(ev) + n
+	if cap(ev) >= need {
+		return ev[:need]
+	}
+	newCap := 2 * cap(ev)
+	if newCap < need {
+		newCap = need
+	}
+	out := make([]Event, need, newCap)
+	copy(out, ev)
+	return out
+}
+
 // ReadTrace deserializes a trace written by WriteTo or WriteToV2 and
 // validates it. It accepts the current chunked format (version 3, with a
 // per-chunk CRC and the whole-file footer), the flat-record version 2
@@ -299,67 +452,26 @@ func appendEventV3(buf []byte, e *Event, predPC *int32, prevAddr *uint64) []byte
 // does not match the payload — truncation, bit flips, torn writes — is
 // rejected instead of replayed as garbage.
 func ReadTrace(r io.Reader) (*Trace, error) {
+	size, sized := inputSize(r)
 	br := bufio.NewReaderSize(r, 1<<16)
-	sum := crc32.NewIEEE()
-	var hdr [24]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: short header: %w", err)
+	var sum uint32
+	version, meta, count, err := readHeader(br, &sum)
+	if err != nil {
+		return nil, err
 	}
-	sum.Write(hdr[:])
-	if [4]byte(hdr[0:4]) != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", hdr[0:4])
-	}
-	version := binary.LittleEndian.Uint32(hdr[4:8])
-	switch version {
-	case legacyVersion, v2Version, formatVersion:
-	default:
-		return nil, fmt.Errorf("trace: unsupported format version %d (want %d, %d, or %d)",
-			version, legacyVersion, v2Version, formatVersion)
-	}
-	t := &Trace{
-		CPU:         int(binary.LittleEndian.Uint32(hdr[8:12])),
-		NumCPUs:     int(binary.LittleEndian.Uint32(hdr[12:16])),
-		MissPenalty: binary.LittleEndian.Uint32(hdr[16:20]),
-	}
-	appLen := binary.LittleEndian.Uint32(hdr[20:24])
-	if appLen > 1<<16 {
-		return nil, fmt.Errorf("trace: implausible app name length %d", appLen)
-	}
-	app := make([]byte, appLen)
-	if _, err := io.ReadFull(br, app); err != nil {
-		return nil, fmt.Errorf("trace: short app name: %w", err)
-	}
-	sum.Write(app)
-	t.App = string(app)
-	var cnt [8]byte
-	if _, err := io.ReadFull(br, cnt[:]); err != nil {
-		return nil, fmt.Errorf("trace: short count: %w", err)
-	}
-	sum.Write(cnt[:])
-	count := binary.LittleEndian.Uint64(cnt[:])
-	if count > 1<<34 {
-		return nil, fmt.Errorf("trace: implausible event count %d", count)
-	}
-	var err error
+	t := &Trace{App: meta.App, CPU: meta.CPU, NumCPUs: meta.NumCPUs, MissPenalty: meta.MissPenalty}
+	cap0 := eventCap(count, version, size, sized)
 	if version == formatVersion {
-		err = readEventsV3(br, sum, t, count)
+		err = readEventsV3(br, &sum, t, count, cap0)
 	} else {
-		err = readEventsFlat(br, sum, t, count)
+		err = readEventsFlat(br, &sum, t, count, cap0)
 	}
 	if err != nil {
 		return nil, err
 	}
 	if version >= v2Version {
-		var foot [footerSize]byte
-		if _, err := io.ReadFull(br, foot[:]); err != nil {
-			return nil, fmt.Errorf("trace: short CRC footer: %w", err)
-		}
-		if [4]byte(foot[0:4]) != footerMagic {
-			return nil, fmt.Errorf("trace: bad CRC footer magic %q", foot[0:4])
-		}
-		want := binary.LittleEndian.Uint32(foot[4:8])
-		if got := sum.Sum32(); got != want {
-			return nil, fmt.Errorf("trace: CRC mismatch: computed %08x, footer says %08x (corrupted or torn file)", got, want)
+		if err := readFooter(br, sum); err != nil {
+			return nil, err
 		}
 	}
 	if err := t.Validate(); err != nil {
@@ -368,47 +480,64 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
+// crc32Append folds b into the running whole-file CRC.
+func crc32Append(sum uint32, b []byte) uint32 {
+	return crc32.Update(sum, crc32.IEEETable, b)
+}
+
+// errShortEvent and errBrokenLink are shared by ReadTrace/Validate and the
+// streaming Cursor so both readers report identical failures.
+func errShortEvent(base uint64, err error) error {
+	return fmt.Errorf("trace: short event %d: %w", base, err)
+}
+
+func errBrokenLink(app string, i uint64, nextPC, pc int32) error {
+	return fmt.Errorf("trace %s[%d]: NextPC %d does not link to following PC %d", app, i, nextPC, pc)
+}
+
 // readEventsFlat decodes the 40-byte records of versions 1 and 2.
-func readEventsFlat(br *bufio.Reader, sum hash.Hash32, t *Trace, count uint64) error {
-	// Grow Events as batches are actually read rather than trusting the
-	// declared count up front: a corrupted header claiming 2^34 events must
-	// not allocate hundreds of gigabytes before the short read is noticed.
-	cap0 := count
-	if cap0 > recBatch {
-		cap0 = recBatch
-	}
+func readEventsFlat(br *bufio.Reader, sum *uint32, t *Trace, count uint64, cap0 int) error {
 	t.Events = make([]Event, 0, cap0)
 	buf := make([]byte, recBatch*eventSize)
-	var batch [recBatch]Event
 	for base := uint64(0); base < count; base += recBatch {
 		nrec := count - base
 		if nrec > recBatch {
 			nrec = recBatch
 		}
 		if _, err := io.ReadFull(br, buf[:nrec*eventSize]); err != nil {
-			return fmt.Errorf("trace: short event %d: %w", base, err)
+			return errShortEvent(base, err)
 		}
-		sum.Write(buf[:nrec*eventSize])
-		for i := uint64(0); i < nrec; i++ {
-			rec := buf[i*eventSize:][:eventSize]
-			e := &batch[i]
-			e.PC = int32(binary.LittleEndian.Uint32(rec[0:4]))
-			e.NextPC = int32(binary.LittleEndian.Uint32(rec[4:8]))
-			e.Instr.Op = isa.Op(rec[8])
-			if !e.Instr.Op.Valid() {
-				return fmt.Errorf("trace: event %d has invalid opcode %d", base+i, rec[8])
-			}
-			e.Instr.Dst = rec[9]
-			e.Instr.Src1 = rec[10]
-			e.Instr.Src2 = rec[11]
-			e.Miss = rec[12]&flagMiss != 0
-			e.Taken = rec[12]&flagTaken != 0
-			e.Instr.Imm = int64(binary.LittleEndian.Uint64(rec[16:24]))
-			e.Addr = binary.LittleEndian.Uint64(rec[24:32])
-			e.Latency = binary.LittleEndian.Uint32(rec[32:36])
-			e.Wait = binary.LittleEndian.Uint32(rec[36:40])
+		*sum = crc32.Update(*sum, crc32.IEEETable, buf[:nrec*eventSize])
+		n := len(t.Events)
+		t.Events = growEvents(t.Events, int(nrec))
+		if err := decodeFlatBatch(buf[:nrec*eventSize], t.Events[n:], base); err != nil {
+			return err
 		}
-		t.Events = append(t.Events, batch[:nrec]...)
+	}
+	return nil
+}
+
+// decodeFlatBatch decodes len(dst) consecutive flat records from buf into
+// dst; base is the absolute index of dst[0], used only in error messages.
+func decodeFlatBatch(buf []byte, dst []Event, base uint64) error {
+	for i := range dst {
+		rec := buf[i*eventSize:][:eventSize]
+		e := &dst[i]
+		e.PC = int32(binary.LittleEndian.Uint32(rec[0:4]))
+		e.NextPC = int32(binary.LittleEndian.Uint32(rec[4:8]))
+		e.Instr.Op = isa.Op(rec[8])
+		if !e.Instr.Op.Valid() {
+			return fmt.Errorf("trace: event %d has invalid opcode %d", base+uint64(i), rec[8])
+		}
+		e.Instr.Dst = rec[9]
+		e.Instr.Src1 = rec[10]
+		e.Instr.Src2 = rec[11]
+		e.Miss = rec[12]&flagMiss != 0
+		e.Taken = rec[12]&flagTaken != 0
+		e.Instr.Imm = int64(binary.LittleEndian.Uint64(rec[16:24]))
+		e.Addr = binary.LittleEndian.Uint64(rec[24:32])
+		e.Latency = binary.LittleEndian.Uint32(rec[32:36])
+		e.Wait = binary.LittleEndian.Uint32(rec[36:40])
 	}
 	return nil
 }
@@ -417,45 +546,18 @@ func readEventsFlat(br *bufio.Reader, sum hash.Hash32, t *Trace, count uint64) e
 // chunk's CRC is verified before its payload is decoded, so a corrupted
 // chunk is reported as a checksum failure, not as whatever garbage the
 // varint decoder would have made of it.
-func readEventsV3(br *bufio.Reader, sum hash.Hash32, t *Trace, count uint64) error {
-	cap0 := count
-	if cap0 > chunkEvents {
-		cap0 = chunkEvents
-	}
+func readEventsV3(br *bufio.Reader, sum *uint32, t *Trace, count uint64, cap0 int) error {
 	t.Events = make([]Event, 0, cap0)
 	var buf []byte
-	var hdr [chunkHdrSize]byte
 	for read := uint64(0); read < count; {
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return fmt.Errorf("trace: short chunk header at event %d: %w", read, err)
+		payload, nEvents, err := readChunkV3(br, sum, &buf, read, count)
+		if err != nil {
+			return err
 		}
-		sum.Write(hdr[:])
-		nEvents := binary.LittleEndian.Uint32(hdr[0:4])
-		nBytes := binary.LittleEndian.Uint32(hdr[4:8])
-		if nEvents == 0 || nEvents > chunkEvents || uint64(nEvents) > count-read {
-			return fmt.Errorf("trace: chunk claims %d events with %d remaining", nEvents, count-read)
-		}
-		if nBytes < 2*nEvents || nBytes > nEvents*maxEventEnc {
-			return fmt.Errorf("trace: chunk of %d events claims implausible size %d", nEvents, nBytes)
-		}
-		if uint32(cap(buf)) < nBytes {
-			buf = make([]byte, nBytes)
-		}
-		buf = buf[:nBytes]
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return fmt.Errorf("trace: short chunk payload at event %d: %w", read, err)
-		}
-		sum.Write(buf)
-		var cb [4]byte
-		if _, err := io.ReadFull(br, cb[:]); err != nil {
-			return fmt.Errorf("trace: short chunk CRC at event %d: %w", read, err)
-		}
-		sum.Write(cb[:])
-		want := binary.LittleEndian.Uint32(cb[:])
-		if got := crc32.ChecksumIEEE(buf); got != want {
-			return fmt.Errorf("trace: chunk CRC mismatch at event %d: computed %08x, header says %08x", read, got, want)
-		}
-		if err := decodeChunkV3(buf, int(nEvents), t); err != nil {
+		n := len(t.Events)
+		t.Events = growEvents(t.Events, nEvents)
+		if err := decodeChunkV3(payload, t.Events[n:]); err != nil {
+			t.Events = t.Events[:n]
 			return fmt.Errorf("trace: chunk at event %d: %w", read, err)
 		}
 		read += uint64(nEvents)
@@ -463,26 +565,13 @@ func readEventsV3(br *bufio.Reader, sum hash.Hash32, t *Trace, count uint64) err
 	return nil
 }
 
-// decodeChunkV3 decodes one chunk payload, appending nEvents to t.Events.
-// The payload must be consumed exactly.
-func decodeChunkV3(buf []byte, nEvents int, t *Trace) error {
+// decodeChunkV3 decodes one chunk payload into dst, which must have exactly
+// the chunk's declared event count. The payload must be consumed exactly.
+// Delta state (predicted PC, previous address) starts fresh: it resets at
+// every chunk boundary by design.
+func decodeChunkV3(buf []byte, dst []Event) error {
 	pos := 0
-	varint := func() (int64, error) {
-		v, n := binary.Varint(buf[pos:])
-		if n <= 0 {
-			return 0, fmt.Errorf("truncated or oversized varint at offset %d", pos)
-		}
-		pos += n
-		return v, nil
-	}
-	uvarint := func() (uint64, error) {
-		v, n := binary.Uvarint(buf[pos:])
-		if n <= 0 {
-			return 0, fmt.Errorf("truncated or oversized varint at offset %d", pos)
-		}
-		pos += n
-		return v, nil
-	}
+	nEvents := len(dst)
 	var predPC int32
 	var prevAddr uint64
 	for i := 0; i < nEvents; i++ {
@@ -491,7 +580,8 @@ func decodeChunkV3(buf []byte, nEvents int, t *Trace) error {
 		}
 		flags, op := buf[pos], buf[pos+1]
 		pos += 2
-		var e Event
+		e := &dst[i]
+		*e = Event{}
 		e.Instr.Op = isa.Op(op)
 		if !e.Instr.Op.Valid() {
 			return fmt.Errorf("event %d has invalid opcode %d", i, op)
@@ -500,15 +590,15 @@ func decodeChunkV3(buf []byte, nEvents int, t *Trace) error {
 		e.Taken = flags&f3Taken != 0
 		pc := int64(predPC)
 		if flags&f3PCJump != 0 {
-			d, err := varint()
-			if err != nil {
-				return err
+			d, ok := takeVarint(buf, &pos)
+			if !ok {
+				return errBadVarint(pos)
 			}
 			pc += d
 		}
-		dNext, err := varint()
-		if err != nil {
-			return err
+		dNext, ok := takeVarint(buf, &pos)
+		if !ok {
+			return errBadVarint(pos)
 		}
 		next := pc + 1 + dNext
 		if pc < -1<<31 || pc > 1<<31-1 || next < -1<<31 || next > 1<<31-1 {
@@ -524,22 +614,22 @@ func decodeChunkV3(buf []byte, nEvents int, t *Trace) error {
 			pos += 3
 		}
 		if flags&f3Imm != 0 {
-			if e.Instr.Imm, err = varint(); err != nil {
-				return err
+			if e.Instr.Imm, ok = takeVarint(buf, &pos); !ok {
+				return errBadVarint(pos)
 			}
 		}
 		if flags&f3Addr != 0 {
-			d, err := varint()
-			if err != nil {
-				return err
+			d, ok := takeVarint(buf, &pos)
+			if !ok {
+				return errBadVarint(pos)
 			}
 			prevAddr += uint64(d)
 			e.Addr = prevAddr
 		}
 		if flags&f3Latency != 0 {
-			v, err := uvarint()
-			if err != nil {
-				return err
+			v, ok := takeUvarint(buf, &pos)
+			if !ok {
+				return errBadVarint(pos)
 			}
 			if v > 1<<32-1 {
 				return fmt.Errorf("event %d latency %d overflows uint32", i, v)
@@ -547,9 +637,9 @@ func decodeChunkV3(buf []byte, nEvents int, t *Trace) error {
 			e.Latency = uint32(v)
 		}
 		if flags&f3Wait != 0 {
-			v, err := uvarint()
-			if err != nil {
-				return err
+			v, ok := takeUvarint(buf, &pos)
+			if !ok {
+				return errBadVarint(pos)
 			}
 			if v > 1<<32-1 {
 				return fmt.Errorf("event %d wait %d overflows uint32", i, v)
@@ -557,10 +647,33 @@ func decodeChunkV3(buf []byte, nEvents int, t *Trace) error {
 			e.Wait = uint32(v)
 		}
 		predPC = e.NextPC
-		t.Events = append(t.Events, e)
 	}
 	if pos != len(buf) {
 		return fmt.Errorf("chunk has %d undecoded trailing bytes", len(buf)-pos)
 	}
 	return nil
+}
+
+// takeVarint and takeUvarint decode at *pos and advance it. They are plain
+// functions (not closures) so a chunk decode allocates nothing.
+func takeVarint(buf []byte, pos *int) (int64, bool) {
+	v, n := binary.Varint(buf[*pos:])
+	if n <= 0 {
+		return 0, false
+	}
+	*pos += n
+	return v, true
+}
+
+func takeUvarint(buf []byte, pos *int) (uint64, bool) {
+	v, n := binary.Uvarint(buf[*pos:])
+	if n <= 0 {
+		return 0, false
+	}
+	*pos += n
+	return v, true
+}
+
+func errBadVarint(pos int) error {
+	return fmt.Errorf("truncated or oversized varint at offset %d", pos)
 }

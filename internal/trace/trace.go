@@ -63,6 +63,45 @@ type Trace struct {
 // Len returns the number of dynamic instructions.
 func (t *Trace) Len() int { return len(t.Events) }
 
+// Meta is the generation metadata a trace carries alongside its events:
+// the serialized header fields, minus the event count. It is what the
+// streaming reader and writer exchange without ever materializing Events.
+type Meta struct {
+	App         string
+	CPU         int
+	NumCPUs     int
+	MissPenalty uint32
+}
+
+// Meta returns the trace's generation metadata.
+func (t *Trace) Meta() Meta {
+	return Meta{App: t.App, CPU: t.CPU, NumCPUs: t.NumCPUs, MissPenalty: t.MissPenalty}
+}
+
+// Freeze re-homes Events into an exactly-sized backing array, dropping the
+// append slack left over from generation, and returns t. The harness calls
+// it once per generated trace so the slice becomes a shared immutable
+// arena: every experiment cell replays a View of the same backing array
+// instead of each holding (or copying) an over-allocated one.
+func (t *Trace) Freeze() *Trace {
+	if cap(t.Events) > len(t.Events) {
+		ev := make([]Event, len(t.Events))
+		copy(ev, t.Events)
+		t.Events = ev
+	}
+	return t
+}
+
+// View returns a read-only view of the trace: a copy of the metadata whose
+// Events slice shares t's backing arena but is capped at its length (a
+// full slice expression), so an append through the view reallocates
+// instead of clobbering the shared arena.
+func (t *Trace) View() *Trace {
+	v := *t
+	v.Events = t.Events[:len(t.Events):len(t.Events)]
+	return &v
+}
+
 // DataStats is one row of the paper's Table 1.
 type DataStats struct {
 	BusyCycles  uint64 // useful cycles = dynamic instruction count
@@ -198,33 +237,44 @@ func (t *Trace) Validate() error {
 		if i+1 < len(t.Events) {
 			next := &t.Events[i+1]
 			if e.NextPC != next.PC {
-				return fmt.Errorf("trace %s[%d]: NextPC %d does not link to following PC %d", t.App, i, e.NextPC, next.PC)
+				return errBrokenLink(t.App, uint64(i), e.NextPC, next.PC)
 			}
 		}
-		switch e.Class() {
-		case isa.ClassLoad, isa.ClassStore:
-			if e.Latency == 0 {
-				return fmt.Errorf("trace %s[%d]: memory event with zero latency", t.App, i)
-			}
-			if e.Miss && e.Latency < t.MissPenalty {
-				// Queueing at a bandwidth-limited memory system may lengthen
-				// a miss, but never shorten it below the base penalty.
-				return fmt.Errorf("trace %s[%d]: miss latency %d below penalty %d", t.App, i, e.Latency, t.MissPenalty)
-			}
-			if !e.Miss && e.Latency != 1 {
-				return fmt.Errorf("trace %s[%d]: hit latency %d != 1", t.App, i, e.Latency)
-			}
-		case isa.ClassSync:
-			if e.Latency == 0 {
-				return fmt.Errorf("trace %s[%d]: sync event with zero transfer latency", t.App, i)
-			}
-		case isa.ClassBranch:
-			if e.Taken && e.NextPC != int32(e.Instr.Imm) {
-				return fmt.Errorf("trace %s[%d]: taken branch NextPC %d != target %d", t.App, i, e.NextPC, e.Instr.Imm)
-			}
-			if !e.Taken && e.NextPC != e.PC+1 {
-				return fmt.Errorf("trace %s[%d]: untaken branch NextPC %d != PC+1", t.App, i, e.NextPC)
-			}
+		if err := validateEvent(t.App, i, e, t.MissPenalty); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateEvent checks the per-event invariants of Validate for event i of
+// app's trace. The streaming Cursor applies the same function incrementally
+// (plus the NextPC linkage check against its predecessor), so the two
+// readers cannot drift on what a structurally valid trace is.
+func validateEvent(app string, i int, e *Event, missPenalty uint32) error {
+	switch e.Class() {
+	case isa.ClassLoad, isa.ClassStore:
+		if e.Latency == 0 {
+			return fmt.Errorf("trace %s[%d]: memory event with zero latency", app, i)
+		}
+		if e.Miss && e.Latency < missPenalty {
+			// Queueing at a bandwidth-limited memory system may lengthen
+			// a miss, but never shorten it below the base penalty.
+			return fmt.Errorf("trace %s[%d]: miss latency %d below penalty %d", app, i, e.Latency, missPenalty)
+		}
+		if !e.Miss && e.Latency != 1 {
+			return fmt.Errorf("trace %s[%d]: hit latency %d != 1", app, i, e.Latency)
+		}
+	case isa.ClassSync:
+		if e.Latency == 0 {
+			return fmt.Errorf("trace %s[%d]: sync event with zero transfer latency", app, i)
+		}
+	case isa.ClassBranch:
+		if e.Taken && e.NextPC != int32(e.Instr.Imm) {
+			return fmt.Errorf("trace %s[%d]: taken branch NextPC %d != target %d", app, i, e.NextPC, e.Instr.Imm)
+		}
+		if !e.Taken && e.NextPC != e.PC+1 {
+			return fmt.Errorf("trace %s[%d]: untaken branch NextPC %d != PC+1", app, i, e.NextPC)
 		}
 	}
 	return nil

@@ -1,0 +1,153 @@
+package trace
+
+// Writer streams a version-3 trace container to an io.Writer one event at
+// a time, never holding more than one chunk's encoded payload in memory.
+// It is the producer-side dual of Cursor: `tracetool convert` pipes a
+// Cursor straight into a Writer to rewrite a flat v1/v2 file as chunked
+// v3 without ever materializing the event slice, and Trace.WriteTo is a
+// loop over it, so the two paths emit byte-identical containers (same
+// chunk boundaries, same per-chunk delta resets, same CRCs).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+)
+
+// Writer emits the version-3 chunked format. Events are appended with
+// Write; Close flushes the final partial chunk and the CRC footer. The
+// event count is part of the header, so it must be declared up front and
+// Close fails if the writes do not match it.
+type Writer struct {
+	bw  *bufio.Writer
+	sum hash.Hash32
+	n   int64
+
+	count   uint64 // header-declared event count
+	written uint64
+
+	buf      []byte // current chunk's encoded payload
+	chunkN   int
+	predPC   int32
+	prevAddr uint64
+
+	err    error
+	closed bool
+}
+
+// NewWriter writes the version-3 header for a trace of exactly count
+// events and returns a Writer for its event stream.
+func NewWriter(w io.Writer, m Meta, count uint64) (*Writer, error) {
+	sw := &Writer{
+		bw:    bufio.NewWriterSize(w, 1<<16),
+		sum:   crc32.NewIEEE(),
+		count: count,
+		buf:   make([]byte, 0, chunkEvents*maxEventEnc),
+	}
+	if err := sw.put(encodeHeader(m, formatVersion, count)); err != nil {
+		return sw, err
+	}
+	return sw, nil
+}
+
+// put writes b, folding it into the whole-file checksum.
+func (w *Writer) put(b []byte) error {
+	m, err := w.bw.Write(b)
+	w.n += int64(m)
+	w.sum.Write(b[:m])
+	if err != nil {
+		w.err = err
+	}
+	return err
+}
+
+// Write appends one event. The event is encoded immediately against the
+// current chunk's delta state; a full chunk (4096 events) is framed and
+// flushed in place.
+func (w *Writer) Write(e *Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("trace: write after Close")
+	}
+	if w.written == w.count {
+		w.err = fmt.Errorf("trace: write of event %d exceeds declared count %d", w.written, w.count)
+		return w.err
+	}
+	w.buf = appendEventV3(w.buf, e, &w.predPC, &w.prevAddr)
+	w.chunkN++
+	w.written++
+	if w.chunkN == chunkEvents {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+// flushChunk frames and writes the pending payload: event count, byte
+// count, payload, payload CRC. Delta state resets so the next chunk is
+// self-contained.
+func (w *Writer) flushChunk() error {
+	var hdr [chunkHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(w.chunkN))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(w.buf)))
+	if err := w.put(hdr[:]); err != nil {
+		return err
+	}
+	if err := w.put(w.buf); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(w.buf))
+	if err := w.put(crc[:]); err != nil {
+		return err
+	}
+	w.buf = w.buf[:0]
+	w.chunkN = 0
+	w.predPC = 0
+	w.prevAddr = 0
+	return nil
+}
+
+// Close flushes the final partial chunk, writes the whole-file CRC footer,
+// and flushes the underlying buffer. It fails if fewer events were written
+// than the header declared.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.written != w.count {
+		w.err = fmt.Errorf("trace: wrote %d events, header declared %d", w.written, w.count)
+		return w.err
+	}
+	if w.chunkN > 0 {
+		if err := w.flushChunk(); err != nil {
+			return err
+		}
+	}
+	var foot [footerSize]byte
+	copy(foot[0:4], footerMagic[:])
+	binary.LittleEndian.PutUint32(foot[4:8], w.sum.Sum32())
+	m, err := w.bw.Write(foot[:])
+	w.n += int64(m)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// BytesWritten reports the container bytes emitted so far (footer included
+// once Close succeeds).
+func (w *Writer) BytesWritten() int64 { return w.n }

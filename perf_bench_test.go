@@ -13,6 +13,7 @@ package dynsched
 // 1910 allocs/op; pooling the simulator state brought it to single digits.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ import (
 	"dynsched/internal/consistency"
 	"dynsched/internal/cpu"
 	"dynsched/internal/exp"
+	"dynsched/internal/trace"
 )
 
 type perfBenchReport struct {
@@ -67,6 +69,14 @@ type perfBenchReport struct {
 	TraceV2BytesPerEvent float64 `json:"trace_v2_bytes_per_event"`
 	TraceV3BytesPerEvent float64 `json:"trace_v3_bytes_per_event"`
 	TraceV3SizeRatio     float64 `json:"trace_v3_size_ratio"`
+
+	// Streaming v3 decode (trace.Cursor): a full scan of the serialized
+	// ocean trace, events handed out through the fixed ring. Steady-state
+	// decode is allocation-free, so per-scan allocations are the constant
+	// cursor setup and per-event allocations approach zero as traces grow.
+	CursorNsPerEvent     float64 `json:"cursor_ns_per_event"`
+	CursorAllocsPerScan  float64 `json:"cursor_allocs_per_scan"`
+	CursorAllocsPerEvent float64 `json:"cursor_allocs_per_event"`
 }
 
 // sweepHarness builds a harness with the given worker bound and all five
@@ -150,6 +160,46 @@ func BenchmarkPerf(b *testing.B) {
 			}
 		}
 		rep.Tango16Ns = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	b.Run("CursorScan", func(b *testing.B) {
+		b.ReportAllocs()
+		e := benchHarness(b)
+		run, err := e.Run("ocean")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := run.Trace.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		raw := buf.Bytes()
+		r := bytes.NewReader(raw)
+		nEvents := run.Trace.Len()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Reset(raw)
+			c, err := trace.NewCursor(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if _, err := c.Next(); err != nil {
+					if err != io.EOF {
+						b.Fatal(err)
+					}
+					break
+				}
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&ms1)
+		rep.CursorAllocsPerScan = float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N)
+		rep.CursorAllocsPerEvent = rep.CursorAllocsPerScan / float64(nEvents)
+		rep.CursorNsPerEvent = float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(nEvents)
+		b.ReportMetric(rep.CursorNsPerEvent, "ns/event")
 	})
 
 	latNs := map[uint32][2]*float64{
