@@ -27,6 +27,7 @@
 //	distances   distance between consecutive read misses (§4.1.3)
 //	ablate      store-buffer / MSHR / BTB ablations (extension)
 //	analyze     critical-path cycle attribution and top-down bottlenecks
+//	timeline    interval time series with phase detection per cell
 //	all         everything above
 //
 // Flags select the problem scale (-scale small|medium|paper), the miss
@@ -54,10 +55,22 @@
 // (load it in chrome://tracing or Perfetto). With -serve, the attribution
 // is also queryable live at /bottlenecks once the analyze step records it.
 //
+// The timeline experiment replays every application with an interval
+// sampler attached: every 2^k simulated cycles it snapshots the stall
+// breakdown, retire rate, and queue occupancies, decimating to coarser
+// intervals when the fixed-size ring fills. A change-point detector over
+// the stall-mix vectors segments each run into phases, and the step prints
+// per-cell sparkline timelines with phase boundaries plus a per-phase
+// summary table. The series are byte-identical across -j and -noskip.
+// -timeline-json writes the full report (samples and phases) as JSON;
+// -timeline-csv writes the samples as CSV.
+//
 // -serve ADDR starts a live HTTP server for the duration of the run
 // (":0" picks a free port; the bound address is printed to stderr) exposing
 // /metrics (Prometheus text), /metrics.json, /jobs (the experiment
-// scheduler's per-job board), /progress, /healthz, and /debug/pprof/.
+// scheduler's per-job board), /progress, /timeline (interval series of
+// every registered cell), /events (live timeline samples as Server-Sent
+// Events), /healthz, and /debug/pprof/.
 //
 // -ledger PATH appends one structured JSON-Lines record per invocation:
 // run id, version, options, wall time, allocator statistics, per-app
@@ -69,8 +82,9 @@
 //	hidelat diff [-threshold 0.05] [-json] OLD NEW
 //
 // OLD and NEW may each be a JSON-Lines run ledger (the newest record wins),
-// a single ledger record, a -metrics-out snapshot, or any JSON object with
-// numeric leaves. All tracked metrics are cost metrics, so an increase
+// a single ledger record, a -metrics-out snapshot, a -timeline-json report
+// (compared on per-cell cycles, MCPI, and per-phase spans), or any JSON
+// object with numeric leaves. All tracked metrics are cost metrics, so an increase
 // beyond the threshold is a regression; diff exits non-zero when any
 // tracked metric regresses, which lets CI gate on the trajectory.
 package main
@@ -125,6 +139,8 @@ func run(args []string) error {
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot to this file")
 	analyzeJSON := fs.String("analyze-json", "", "write the analyze report as JSON to this file")
 	flameOut := fs.String("flame-out", "", "write the analyze attribution as a Chrome trace-event flamegraph to this file")
+	timelineJSON := fs.String("timeline-json", "", "write the timeline report (samples and phases) as JSON to this file")
+	timelineCSV := fs.String("timeline-csv", "", "write the timeline samples as CSV to this file")
 	pipeOut := fs.String("pipe-trace-out", "", "write a pipeline trace of an RC-DS64 replay of the first app (.json = Chrome trace, else Konata)")
 	progress := fs.Bool("progress", false, "print simulation throughput to stderr every second")
 	serveAddr := fs.String("serve", "", "serve live /metrics, /jobs, /progress, and /debug/pprof on this address while the run executes (e.g. :8080; :0 picks a free port)")
@@ -138,7 +154,7 @@ func run(args []string) error {
 		fmt.Fprintf(fs.Output(), "       hidelat diff [-threshold 0.05] [-json] OLD NEW\n\n")
 		fmt.Fprintf(fs.Output(), "Experiments: table1 table2 table3 fig3 fig4 summary delays latency100\n")
 		fmt.Fprintf(fs.Output(), "             issue4 wo scpf resched cachegeom contexts contention\n")
-		fmt.Fprintf(fs.Output(), "             machines distances ablate analyze all\n\nFlags:\n")
+		fmt.Fprintf(fs.Output(), "             machines distances ablate analyze timeline all\n\nFlags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -232,8 +248,10 @@ func run(args []string) error {
 	}
 	if *serveAddr != "" {
 		opts.Board = obs.NewJobBoard()
+		opts.Timelines = obs.NewTimelineHub()
 		srv, err := obs.StartServer(*serveAddr, obs.ServerState{
-			Registry: metricsReg, Board: opts.Board, Progress: pr, Version: dynsched.Version,
+			Registry: metricsReg, Board: opts.Board, Progress: pr,
+			Timelines: opts.Timelines, Version: dynsched.Version,
 		})
 		if err != nil {
 			return err
@@ -294,8 +312,10 @@ func run(args []string) error {
 		"contention": contention,
 		"machines":   machines,
 		"analyze":    analyzeCmd,
+		"timeline":   timelineCmd,
 	}
 	analyzeJSONOut, flameOutPath = *analyzeJSON, *flameOut
+	timelineJSONOut, timelineCSVOut = *timelineJSON, *timelineCSV
 	if what != "all" {
 		if _, ok := steps[what]; !ok {
 			return fmt.Errorf("unknown experiment %q", what)
@@ -318,7 +338,8 @@ func run(args []string) error {
 		var partial error
 		for _, name := range []string{"table1", "table2", "table3", "fig3", "fig4",
 			"summary", "delays", "distances", "issue4", "wo", "scpf", "resched",
-			"cachegeom", "contexts", "contention", "machines", "ablate", "analyze"} {
+			"cachegeom", "contexts", "contention", "machines", "ablate", "analyze",
+			"timeline"} {
 			stepName = name
 			if err := steps[name](e); err != nil {
 				var pe *exp.PartialError
@@ -476,6 +497,41 @@ func analyzeCmd(e *exp.Experiment) error {
 			return werr
 		}
 		fmt.Fprintf(os.Stderr, "hidelat: wrote attribution flamegraph to %s\n", flameOutPath)
+	}
+	return err
+}
+
+// timelineJSONOut and timelineCSVOut hold the -timeline-json and
+// -timeline-csv paths for timelineCmd, set by run after flag parsing.
+var timelineJSONOut, timelineCSVOut string
+
+func timelineCmd(e *exp.Experiment) error {
+	rep, err := e.TimelineAll()
+	if rep == nil {
+		return err
+	}
+	fmt.Print(rep.Format())
+	exp.RecordTimeline(metricsReg, rep)
+	if timelineJSONOut != "" {
+		werr := obs.WriteFileAtomic(timelineJSONOut, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		})
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "hidelat: wrote timeline report to %s\n", timelineJSONOut)
+	}
+	if timelineCSVOut != "" {
+		werr := obs.WriteFileAtomic(timelineCSVOut, func(w io.Writer) error {
+			_, werr := io.WriteString(w, rep.CSV())
+			return werr
+		})
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "hidelat: wrote timeline samples to %s\n", timelineCSVOut)
 	}
 	return err
 }

@@ -207,6 +207,15 @@ type Config struct {
 	// buckets it accumulates sum exactly to Breakdown.Total(). nil (the
 	// default) collects nothing and costs only nil checks.
 	CritPath *critpath.Collector
+	// Timeline, when non-nil, receives cumulative state snapshots at
+	// aligned 2^k-cycle boundaries (stall breakdown, retired instructions,
+	// structure-occupancy integrals, and — when CritPath is also set —
+	// fine-cause cycle counts). Sampling is purely observational: boundary
+	// snapshots are emitted at exact cycles even under time-skip (a jump
+	// crossing k boundaries interpolates k snapshots inside the
+	// bulk-charged stretch), so the series is byte-identical skip vs
+	// noskip and the simulated Result is untouched.
+	Timeline *obs.Timeline
 
 	// NoTimeSkip forces the cycle-stepped simulation path. By default the
 	// replay loops are event-driven: when a cycle completes nothing, accepts

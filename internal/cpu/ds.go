@@ -386,6 +386,34 @@ func runDS(src *eventSource, cfg Config) (Result, error) {
 	}
 	var fineCat critpath.Cause // this cycle's fine cause (valid when charged)
 
+	// Interval timeline sampling: cumulative state snapshots at aligned
+	// 2^k-cycle boundaries. At the top of the body for cycle t the live
+	// counters cover cycles 0..t-1 — exactly boundary t — and a time-skip
+	// jump interpolates each crossed boundary inside the bulk-charged
+	// stretch, so the series is byte-identical skip vs noskip. Busy is the
+	// same residual the final Breakdown uses (cycle − Σstalls), which is
+	// why a snapshot needs only the stall-category array: burst-retirement
+	// credit pops show up as stall counters *decreasing* between
+	// boundaries, i.e. signed interval deltas.
+	tl := cfg.Timeline
+	var tlSBSum, tlMSHRSum uint64
+	dsPoint := func(cycle uint64, stalls [5]uint64, occSum, sbSum, mshrSum uint64, extra critpath.Cause, extraN uint64) obs.TimelinePoint {
+		st := stalls[catSync] + stalls[catRead] + stalls[catWrite] + stalls[catBranch] + stalls[catOther]
+		p := obs.TimelinePoint{
+			Cycle: cycle, Instructions: uint64(headSeq),
+			Busy: cycle - st,
+			Sync: stalls[catSync], Read: stalls[catRead], Write: stalls[catWrite],
+			Branch: stalls[catBranch], Other: stalls[catOther],
+			WindowSum: occSum, StoreBufSum: sbSum, MSHRSum: mshrSum,
+		}
+		if cp != nil {
+			cc := cp.CycleCounts()
+			cc[extra] += extraN
+			p.Causes = append([]uint64(nil), cc[:]...)
+		}
+		return p
+	}
+
 	// Livelock watchdog and cooperative cancellation, polled on a stride so
 	// the per-cycle hot path stays branch-light.
 	dog := newWatchdog(cfg.WatchdogBudget)
@@ -437,6 +465,11 @@ func runDS(src *eventSource, cfg Config) (Result, error) {
 			}
 		}
 		iter++
+
+		if tl != nil && t == tl.Boundary() {
+			tl.Record(dsPoint(t, cat, occupancySum, tlSBSum, tlMSHRSum, 0, 0))
+		}
+
 		prevIdx := idx
 
 		// Phase 1: completions scheduled for this cycle.
@@ -636,6 +669,10 @@ func runDS(src *eventSource, cfg Config) (Result, error) {
 		}
 
 		occupancySum += uint64(nextSeq - headSeq)
+		if tl != nil {
+			tlSBSum += uint64(sbCount)
+			tlMSHRSum += uint64(outMiss)
+		}
 		if cfg.Metrics != nil {
 			robHist.Observe(uint64(nextSeq - headSeq))
 			sbHist.Observe(uint64(sbCount))
@@ -797,6 +834,23 @@ func runDS(src *eventSource, cfg Config) (Result, error) {
 			}
 			if next != ^uint64(0) && next > t+1 {
 				delta := next - t - 1 // quiet cycles t+1 .. next-1
+				occ := uint64(nextSeq - headSeq)
+				if tl != nil {
+					// The jump lands at next with the top-of-body check
+					// already past boundary next, so interpolate every
+					// boundary b in (t, next] here, before the bulk charges
+					// land: b snapshots the state after cycles 0..b-1, i.e.
+					// the fixed point plus b-t-1 repeats of its single
+					// stall charge, with occupancy frozen and no retires.
+					for b := tl.Boundary(); b <= next; b = tl.Boundary() {
+						q := b - t - 1
+						sq := cat
+						sq[stallCat] += q
+						tl.Record(dsPoint(b, sq, occupancySum+occ*q,
+							tlSBSum+uint64(sbCount)*q, tlMSHRSum+uint64(outMiss)*q,
+							fineCat, q))
+					}
+				}
 				cat[stallCat] += delta
 				stallStack.pushN(stallCat, delta)
 				if cp != nil {
@@ -804,8 +858,11 @@ func runDS(src *eventSource, cfg Config) (Result, error) {
 					// stretch repeats exactly that charge.
 					cp.StallN(fineCat, delta)
 				}
-				occ := uint64(nextSeq - headSeq)
 				occupancySum += occ * delta
+				if tl != nil {
+					tlSBSum += uint64(sbCount) * delta
+					tlMSHRSum += uint64(outMiss) * delta
+				}
 				if cfg.Metrics != nil {
 					robHist.ObserveN(occ, delta)
 					sbHist.ObserveN(uint64(sbCount), delta)
@@ -847,6 +904,9 @@ func runDS(src *eventSource, cfg Config) (Result, error) {
 	}
 	if t > 0 {
 		res.AvgOccupancy = float64(occupancySum) / float64(t)
+	}
+	if tl != nil {
+		tl.Finish(dsPoint(t, cat, occupancySum, tlSBSum, tlMSHRSum, 0, 0))
 	}
 	cp.Finish(t)
 	robHist.Close()

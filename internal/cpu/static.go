@@ -287,6 +287,28 @@ func runStatic(src *eventSource, cfg Config, nonBlockingReads bool) (Result, err
 			return critpath.ReadLat
 		}
 	}
+	// Interval timeline sampling: cumulative state snapshots at aligned
+	// 2^k-cycle boundaries. At the top of the body for cycle t the
+	// cumulative counters cover cycles 0..t-1 — exactly boundary t — and a
+	// time-skip jump interpolates each crossed boundary inside the
+	// bulk-charged stretch, so the series is byte-identical skip vs noskip.
+	tl := cfg.Timeline
+	var tlWinSum, tlWBSum, tlRBSum uint64
+	staticPoint := func(cycle uint64, b Breakdown, winSum, wbSum, rbSum uint64, extra critpath.Cause, extraN uint64) obs.TimelinePoint {
+		p := obs.TimelinePoint{
+			Cycle: cycle, Instructions: uint64(idx),
+			Busy: b.Busy, Sync: b.Sync, Read: b.Read,
+			Write: b.Write, Branch: b.Branch, Other: b.Other,
+			WindowSum: winSum, StoreBufSum: wbSum, MSHRSum: rbSum,
+		}
+		if cp != nil {
+			cc := cp.CycleCounts()
+			cc[extra] += extraN
+			p.Causes = append([]uint64(nil), cc[:]...)
+		}
+		return p
+	}
+
 	// Edge recording: the static pipeline accepts at most one instruction
 	// per cycle, so an instruction accepted right after the previous one
 	// never waited (busy edge); anything else waited through the stall
@@ -356,6 +378,10 @@ func runStatic(src *eventSource, cfg Config, nonBlockingReads bool) (Result, err
 			}
 		}
 		iter++
+
+		if tl != nil && t == tl.Boundary() {
+			tl.Record(staticPoint(t, bd, tlWinSum, tlWBSum, tlRBSum, 0, 0))
+		}
 
 		prevIdx := idx
 		prevAcq, prevLoad := blockAcq, blockLoad
@@ -535,6 +561,11 @@ func runStatic(src *eventSource, cfg Config, nonBlockingReads bool) (Result, err
 			wbHist.Observe(uint64(wbCount))
 			rbHist.Observe(uint64(rbCount))
 		}
+		if tl != nil {
+			tlWinSum += uint64(len(win.ops))
+			tlWBSum += uint64(wbCount)
+			tlRBSum += uint64(rbCount)
+		}
 		if cfg.Progress != nil && t&(obs.PublishEvery-1) == 0 {
 			cfg.Progress.Publish(uint64(idx), t)
 		}
@@ -562,6 +593,23 @@ func runStatic(src *eventSource, cfg Config, nonBlockingReads bool) (Result, err
 				}
 				if next != ^uint64(0) && next > t+1 {
 					delta := next - t - 1 // quiet cycles t+1 .. next-1
+					if tl != nil {
+						// The jump lands at next with the body's top-of-loop
+						// check already past boundary next, so interpolate
+						// every boundary b in (t, next] here: b snapshots the
+						// state after cycles 0..b-1, i.e. the fixed point
+						// plus b-t-1 repeats of its single stall charge.
+						for b := tl.Boundary(); b <= next; b = tl.Boundary() {
+							q := b - t - 1
+							bq := bd
+							chargeN(&bq, c, q)
+							tl.Record(staticPoint(b, bq,
+								tlWinSum+uint64(len(win.ops))*q,
+								tlWBSum+uint64(wbCount)*q,
+								tlRBSum+uint64(rbCount)*q,
+								fineLast, q))
+						}
+					}
 					chargeN(&bd, c, delta)
 					// The fixed-point cycle charged exactly one stall, whose
 					// fine cause fineCharge just recorded; the skipped stretch
@@ -570,6 +618,11 @@ func runStatic(src *eventSource, cfg Config, nonBlockingReads bool) (Result, err
 					if cfg.Metrics != nil {
 						wbHist.ObserveN(uint64(wbCount), delta)
 						rbHist.ObserveN(uint64(rbCount), delta)
+					}
+					if tl != nil {
+						tlWinSum += uint64(len(win.ops)) * delta
+						tlWBSum += uint64(wbCount) * delta
+						tlRBSum += uint64(rbCount) * delta
 					}
 					if cfg.Progress != nil && t/obs.PublishEvery != next/obs.PublishEvery {
 						cfg.Progress.Publish(uint64(idx), next)
@@ -585,6 +638,9 @@ func runStatic(src *eventSource, cfg Config, nonBlockingReads bool) (Result, err
 	}
 
 	res := Result{Breakdown: bd, Instructions: uint64(src.n)}
+	if tl != nil {
+		tl.Finish(staticPoint(t, bd, tlWinSum, tlWBSum, tlRBSum, 0, 0))
+	}
 	cp.Finish(bd.Total())
 	wbHist.Close()
 	rbHist.Close()

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"dynsched/internal/critpath"
+	"dynsched/internal/obs"
 	"dynsched/internal/trace"
 )
 
@@ -72,8 +73,14 @@ func RunBaseStream(c *trace.Cursor) (Result, error) {
 
 // RunBaseStreamCP is RunBaseStream with critical-path attribution.
 func RunBaseStreamCP(c *trace.Cursor, cp *critpath.Collector) (Result, error) {
+	return RunBaseStreamObs(c, cp, nil)
+}
+
+// RunBaseStreamObs is RunBaseStream with critical-path attribution and
+// interval timeline sampling, mirroring RunBaseObs for the streaming arm.
+func RunBaseStreamObs(c *trace.Cursor, cp *critpath.Collector, tl *obs.Timeline) (Result, error) {
 	src := cursorSource(c)
-	return runBase(&src, cp)
+	return runBase(&src, cp, tl)
 }
 
 // RunSSBRStream replays a streaming trace through the statically

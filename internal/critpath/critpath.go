@@ -149,6 +149,18 @@ func (c *Collector) Uncharge() {
 	}
 }
 
+// CycleCounts returns the raw per-cause stall-cycle counters charged so
+// far, *before* Finish derives the busy residual. The timeline sampler
+// snapshots these at interval boundaries to derive per-interval fine-cause
+// deltas; counts can decrease between snapshots when Uncharge reclaims
+// cycles. Nil-safe (returns the zero array).
+func (c *Collector) CycleCounts() [NumCauses]uint64 {
+	if c == nil {
+		return [NumCauses]uint64{}
+	}
+	return c.cycles
+}
+
 // Edge records one retired instruction's last-arriving dependence edge.
 func (c *Collector) Edge(cause Cause) {
 	if c == nil {

@@ -61,6 +61,11 @@ type Options struct {
 	// trace generations and the replay cells of figures, sweeps, and
 	// ablations — feeding the live server's /jobs endpoint.
 	Board *obs.JobBoard
+	// Timelines, when non-nil, receives a live interval-sampled timeline
+	// per simulation this harness runs — trace generations ("gen <app>")
+	// and the cells of the timeline sweep ("<app> <label>") — feeding the
+	// live server's /timeline endpoint and SSE /events stream.
+	Timelines *obs.TimelineHub
 
 	// Ctx cancels the whole sweep cooperatively: trace generations and
 	// replay cells poll it and unwind with a context error, so Ctrl-C or a
@@ -225,6 +230,14 @@ func (e *Experiment) generate(app string) (run *AppRun, err error) {
 		Ctx:      e.opts.Ctx,
 	}
 	cfg.MetricsPrefix = "tango." + app + "."
+	if hub := e.opts.Timelines; hub != nil {
+		// A live machine-activity timeline for the generation run. Only the
+		// first generation of a cached trace records one; it feeds the live
+		// view, never a run artifact, so the cache does not cost determinism.
+		tl := obs.NewTimeline(genTimelineShift, timelineMaxPoints)
+		hub.Register("gen "+app, tl)
+		cfg.Timeline = tl
+	}
 	cfg.Mem.MissPenalty = e.opts.MissPenalty
 	cfg.MemIssueInterval = e.opts.MemIssueInterval
 	if e.cacheBytes != 0 {
@@ -345,9 +358,9 @@ func normalize(cols []Column) {
 func runArch(tr *trace.Trace, arch string, cfg cpu.Config) (cpu.Result, error) {
 	switch arch {
 	case "BASE":
-		// BASE takes no Config; the critical-path hook is threaded through
-		// its dedicated entry point.
-		return cpu.RunBaseCP(tr, cfg.CritPath), nil
+		// BASE takes no Config; the observability hooks are threaded
+		// through its dedicated entry point.
+		return cpu.RunBaseObs(tr, cfg.CritPath, cfg.Timeline), nil
 	case "SSBR":
 		return cpu.RunSSBR(tr, cfg)
 	case "SS":

@@ -208,6 +208,12 @@ func LoadMetricsFile(path string) (metrics map[string]float64, kind, fnvSum stri
 				return nil, "", "", fmt.Errorf("obs: %s: %w", path, err)
 			}
 			return LedgerMetrics(rec), "ledger record", rec.MetricsFNV, nil
+		case obj["timeline_schema"] != nil:
+			m, err := timelineMetrics(data)
+			if err != nil {
+				return nil, "", "", fmt.Errorf("obs: %s: %w", path, err)
+			}
+			return m, "timeline report", "", nil
 		default:
 			var generic map[string]any
 			if err := json.Unmarshal(data, &generic); err != nil {
@@ -226,6 +232,63 @@ func LoadMetricsFile(path string) (metrics map[string]float64, kind, fnvSum stri
 	last := recs[len(recs)-1]
 	return LedgerMetrics(last), fmt.Sprintf("ledger (%d records, comparing %s)", len(recs), last.ID),
 		last.MetricsFNV, nil
+}
+
+// timelineMetrics flattens a timeline/phase-summary report (the
+// `hidelat timeline` JSON export, tagged with a top-level timeline_schema
+// key) into the cost metrics the regressions-first diff semantics apply
+// to: per-cell total cycles, aggregate MCPI, and phase count, plus each
+// phase's cycle span and MCPI. The package exp owns the report's producer
+// type; this decode-only mirror keeps the dependency one-way.
+func timelineMetrics(data []byte) (map[string]float64, error) {
+	var rep struct {
+		Apps []struct {
+			App   string `json:"app"`
+			Cells []struct {
+				Label        string `json:"label"`
+				TotalCycles  uint64 `json:"total_cycles"`
+				Instructions uint64 `json:"instructions"`
+				Failed       bool   `json:"failed"`
+				Samples      []struct {
+					Read  int64 `json:"read"`
+					Write int64 `json:"write"`
+				} `json:"samples"`
+				Phases []struct {
+					Index      int     `json:"index"`
+					StartCycle uint64  `json:"start_cycle"`
+					EndCycle   uint64  `json:"end_cycle"`
+					MCPI       float64 `json:"mcpi"`
+				} `json:"phases"`
+			} `json:"cells"`
+		} `json:"apps"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	m := make(map[string]float64)
+	for _, app := range rep.Apps {
+		for _, c := range app.Cells {
+			if c.Failed {
+				continue
+			}
+			pre := "timeline." + app.App + "." + c.Label + "."
+			m[pre+"total_cycles"] = float64(c.TotalCycles)
+			m[pre+"phases"] = float64(len(c.Phases))
+			if c.Instructions > 0 {
+				var rw int64
+				for _, s := range c.Samples {
+					rw += s.Read + s.Write
+				}
+				m[pre+"mcpi"] = float64(rw) / float64(c.Instructions)
+			}
+			for _, p := range c.Phases {
+				ppre := fmt.Sprintf("%sphase%d.", pre, p.Index)
+				m[ppre+"cycles"] = float64(p.EndCycle - p.StartCycle)
+				m[ppre+"mcpi"] = p.MCPI
+			}
+		}
+	}
+	return m, nil
 }
 
 // flattenNumbers walks a decoded JSON value and collects numeric leaves

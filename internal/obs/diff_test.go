@@ -177,6 +177,37 @@ func TestLoadMetricsFileSniffing(t *testing.T) {
 		t.Errorf("jsonl load: kind=%q m=%v", kind, m)
 	}
 
+	// Timeline report (the -timeline-json shape, sniffed on timeline_schema):
+	// flattened to per-cell cycles, MCPI, and per-phase spans, skipping
+	// failed cells.
+	timeline := []byte(`{
+	  "timeline_schema": "dynsched-timeline/v1",
+	  "apps": [{"app": "lu", "cells": [
+	    {"label": "RC-DS64", "total_cycles": 1000, "instructions": 400,
+	     "samples": [{"read": 60, "write": 20}, {"read": 15, "write": 5}],
+	     "phases": [{"index": 1, "start_cycle": 0, "end_cycle": 1000, "mcpi": 0.25}]},
+	    {"label": "BASE", "failed": true, "total_cycles": 7}
+	  ]}]}`)
+	m, kind, sum, err = LoadMetricsFile(write("timeline.json", timeline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "timeline report" || sum != "" {
+		t.Errorf("timeline load: kind=%q sum=%q", kind, sum)
+	}
+	if m["timeline.lu.RC-DS64.total_cycles"] != 1000 ||
+		m["timeline.lu.RC-DS64.phases"] != 1 ||
+		m["timeline.lu.RC-DS64.mcpi"] != 0.25 ||
+		m["timeline.lu.RC-DS64.phase1.cycles"] != 1000 ||
+		m["timeline.lu.RC-DS64.phase1.mcpi"] != 0.25 {
+		t.Errorf("timeline metrics = %v", m)
+	}
+	for name := range m {
+		if strings.Contains(name, "BASE") {
+			t.Errorf("failed cell leaked into metrics: %s", name)
+		}
+	}
+
 	// Generic JSON with numeric leaves (the BENCH_*.json shape).
 	bench := []byte(`{"fig3": {"ns_per_op": 120.5, "runs": [1, 2]}, "note": "text"}`)
 	m, kind, sum, err = LoadMetricsFile(write("bench.json", bench))

@@ -1,0 +1,420 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Timeline is a deterministic interval sampler: a bounded time series of
+// cumulative simulation state snapshots taken at aligned 2^k-cycle
+// boundaries. The simulator records a TimelinePoint whenever simulated time
+// reaches Boundary(); when the ring fills, the series is decimated by
+// powers of two — every other point is dropped and the sampling interval
+// doubles — so memory stays bounded for any run length. Because the stored
+// points are *cumulative* counters (not per-interval deltas), decimation is
+// exact: the surviving points are precisely the snapshots a coarser
+// interval would have recorded, and per-interval deltas are derived at
+// export time by Samples.
+//
+// Determinism contract: the recorded series is a pure function of the
+// simulated execution, so a time-skipping replay that interpolates the
+// boundary snapshots inside a bulk-charged quiet stretch produces the exact
+// bytes of the cycle-stepped replay, and per-cell timelines are
+// byte-identical at any -j worker count.
+//
+// Concurrency: the owning simulation goroutine is the only caller of
+// Boundary/Record/Finish; Samples, Interval, and the hub snapshot take the
+// mutex so a live HTTP scrape mid-run is race-free. All methods are
+// nil-safe, matching the package's hook convention.
+type Timeline struct {
+	// CauseNames, when set before the run, names the indices of
+	// TimelinePoint.Causes (the fine-grained critical-path causes); unnamed
+	// indices render as "cause<i>". Set once before the run starts.
+	CauseNames []string
+
+	mu     sync.Mutex
+	shift  uint   // log2 of the current sampling interval
+	next   uint64 // next boundary cycle to record (read lock-free by the owner)
+	max    int    // decimate when the ring reaches this many points (even, >= 4)
+	points []TimelinePoint
+	final  *TimelinePoint // partial tail past the last boundary, set by Finish
+	prev   TimelinePoint  // last recorded point at native granularity (sink deltas)
+	sink   func(TimelineSample)
+}
+
+// NewTimeline returns a sampler that records every 2^intervalShift cycles
+// and holds at most maxPoints boundary snapshots before decimating.
+// maxPoints is rounded up to an even number and clamped to at least 4.
+func NewTimeline(intervalShift uint, maxPoints int) *Timeline {
+	if maxPoints < 4 {
+		maxPoints = 4
+	}
+	if maxPoints%2 != 0 {
+		maxPoints++
+	}
+	return &Timeline{
+		shift: intervalShift,
+		next:  1 << intervalShift,
+		max:   maxPoints,
+	}
+}
+
+// TimelinePoint is one cumulative snapshot of simulation state at an
+// aligned cycle boundary: counters as of Cycle cycles completed. The coarse
+// breakdown fields carry the model's live stall accounting, so on the DS
+// model they can *decrease* between boundaries when burst-retirement credit
+// retroactively reclassifies stall cycles as busy — which is why interval
+// deltas are signed.
+type TimelinePoint struct {
+	Cycle        uint64 // completed simulated cycles
+	Instructions uint64 // retired (DS) / accepted (static) / stepped (tango)
+
+	// Coarse breakdown, cumulative. For the replay models these sum to
+	// Cycle; for tango they are machine-wide sums across processors.
+	Busy   uint64
+	Sync   uint64
+	Read   uint64
+	Write  uint64
+	Branch uint64
+	Other  uint64
+
+	// Occupancy integrals (Σ per-cycle occupancy), so interval means are
+	// exact: (sum(B2)-sum(B1)) / (B2-B1). The three slots map to the
+	// model's structures — DS: ROB / store buffer / outstanding MSHRs;
+	// static: in-flight access window / write buffer / read buffer.
+	WindowSum   uint64
+	StoreBufSum uint64
+	MSHRSum     uint64
+
+	// Causes holds cumulative fine-grained critical-path stall cycles per
+	// cause index (nil when the replay has no collector attached).
+	Causes []uint64
+}
+
+// TimelineSample is one derived per-interval delta, the exported form of
+// the series. Breakdown deltas are signed (see TimelinePoint).
+type TimelineSample struct {
+	Start        uint64 `json:"start_cycle"`
+	End          uint64 `json:"end_cycle"`
+	Instructions uint64 `json:"instructions"`
+
+	Busy   int64 `json:"busy"`
+	Sync   int64 `json:"sync"`
+	Read   int64 `json:"read"`
+	Write  int64 `json:"write"`
+	Branch int64 `json:"branch"`
+	Other  int64 `json:"other"`
+
+	// IPC is retired instructions per interval cycle; MCPI is memory stall
+	// cycles (read+write) per retired instruction within the interval.
+	IPC  float64 `json:"ipc"`
+	MCPI float64 `json:"mcpi"`
+
+	AvgWindow   float64 `json:"avg_window_occupancy"`
+	AvgStoreBuf float64 `json:"avg_storebuf_occupancy"`
+	AvgMSHR     float64 `json:"avg_mshr_occupancy"`
+
+	// Causes holds per-interval fine-cause stall-cycle deltas keyed by
+	// cause name, present when the replay carried a critpath collector.
+	Causes map[string]int64 `json:"causes,omitempty"`
+}
+
+// Boundary returns the next cycle count at which the owner must Record a
+// snapshot. Only the owning simulation goroutine may call it (lock-free).
+func (tl *Timeline) Boundary() uint64 {
+	if tl == nil {
+		return ^uint64(0)
+	}
+	return tl.next
+}
+
+// Interval returns the current sampling interval in cycles (grows by
+// doubling as the series decimates).
+func (tl *Timeline) Interval() uint64 {
+	if tl == nil {
+		return 0
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return 1 << tl.shift
+}
+
+// Record appends the cumulative snapshot for the boundary at p.Cycle, which
+// must be the cycle Boundary() returned. When the ring fills it is
+// decimated in place: odd-index points — exactly the snapshots of the
+// doubled interval — survive, and the newest point is always among them.
+func (tl *Timeline) Record(p TimelinePoint) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	s := tl.delta(tl.prev, p)
+	tl.prev = p
+	tl.points = append(tl.points, p)
+	if len(tl.points) >= tl.max {
+		kept := tl.points[:0]
+		for i := 1; i < len(tl.points); i += 2 {
+			kept = append(kept, tl.points[i])
+		}
+		tl.points = kept
+		tl.shift++
+	}
+	tl.next = uint64(len(tl.points)+1) << tl.shift
+	sink := tl.sink
+	tl.mu.Unlock()
+	if sink != nil {
+		sink(s)
+	}
+}
+
+// Finish seals the series with the end-of-run state at p.Cycle (the total
+// cycle count). If the run ended past the last recorded boundary the tail
+// becomes one final partial sample; a run ending exactly on a boundary
+// needs no tail.
+func (tl *Timeline) Finish(p TimelinePoint) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	last := uint64(0)
+	if n := len(tl.points); n > 0 {
+		last = tl.points[n-1].Cycle
+	}
+	var s TimelineSample
+	sink := tl.sink
+	if p.Cycle > last {
+		s = tl.delta(tl.prev, p)
+		tl.prev = p
+		tl.final = &p
+	} else {
+		sink = nil
+	}
+	tl.mu.Unlock()
+	if sink != nil {
+		sink(s)
+	}
+}
+
+// Samples derives the per-interval deltas of the recorded series, including
+// the final partial interval when the run did not end on a boundary.
+func (tl *Timeline) Samples() []TimelineSample {
+	if tl == nil {
+		return nil
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := make([]TimelineSample, 0, len(tl.points)+1)
+	var prev TimelinePoint
+	for _, p := range tl.points {
+		out = append(out, tl.delta(prev, p))
+		prev = p
+	}
+	if tl.final != nil && tl.final.Cycle > prev.Cycle {
+		out = append(out, tl.delta(prev, *tl.final))
+	}
+	return out
+}
+
+// delta derives the exported sample for the interval (a.Cycle, b.Cycle].
+// Called with tl.mu held (or from a context that owns tl).
+func (tl *Timeline) delta(a, b TimelinePoint) TimelineSample {
+	s := TimelineSample{
+		Start:        a.Cycle,
+		End:          b.Cycle,
+		Instructions: b.Instructions - a.Instructions,
+		Busy:         int64(b.Busy) - int64(a.Busy),
+		Sync:         int64(b.Sync) - int64(a.Sync),
+		Read:         int64(b.Read) - int64(a.Read),
+		Write:        int64(b.Write) - int64(a.Write),
+		Branch:       int64(b.Branch) - int64(a.Branch),
+		Other:        int64(b.Other) - int64(a.Other),
+	}
+	if n := b.Cycle - a.Cycle; n > 0 {
+		inv := 1 / float64(n)
+		s.IPC = float64(s.Instructions) * inv
+		s.AvgWindow = float64(b.WindowSum-a.WindowSum) * inv
+		s.AvgStoreBuf = float64(b.StoreBufSum-a.StoreBufSum) * inv
+		s.AvgMSHR = float64(b.MSHRSum-a.MSHRSum) * inv
+	}
+	if s.Instructions > 0 {
+		s.MCPI = float64(s.Read+s.Write) / float64(s.Instructions)
+	}
+	if len(b.Causes) > 0 {
+		s.Causes = make(map[string]int64, len(b.Causes))
+		for i, v := range b.Causes {
+			var av uint64
+			if i < len(a.Causes) {
+				av = a.Causes[i]
+			}
+			d := int64(v) - int64(av)
+			if d == 0 {
+				continue
+			}
+			name := fmt.Sprintf("cause%d", i)
+			if i < len(tl.CauseNames) {
+				name = tl.CauseNames[i]
+			}
+			s.Causes[name] = d
+		}
+		if len(s.Causes) == 0 {
+			s.Causes = nil
+		}
+	}
+	return s
+}
+
+// setSink installs the hub's per-sample callback; called by Register before
+// the run starts.
+func (tl *Timeline) setSink(fn func(TimelineSample)) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	tl.sink = fn
+	tl.mu.Unlock()
+}
+
+// TimelineSeries is one cell's exported timeline, the /timeline JSON shape.
+type TimelineSeries struct {
+	Cell     string           `json:"cell"`
+	Interval uint64           `json:"interval_cycles"`
+	Samples  []TimelineSample `json:"samples"`
+}
+
+// TimelineEvent is one live sample on the SSE /events stream. Seq is a
+// hub-global monotone sequence number, so a client can assert ordering.
+type TimelineEvent struct {
+	Seq    uint64         `json:"seq"`
+	Cell   string         `json:"cell"`
+	Sample TimelineSample `json:"sample"`
+}
+
+// TimelineHub fans live timeline samples out to SSE subscribers and serves
+// point-in-time snapshots of every registered cell's series. All methods
+// are nil-safe and safe for concurrent use from simulation workers and
+// HTTP handlers.
+type TimelineHub struct {
+	mu      sync.Mutex
+	cells   map[string]*Timeline
+	subs    map[int]chan TimelineEvent
+	nextSub int
+	seq     uint64
+	closed  bool
+}
+
+// NewTimelineHub returns an empty hub.
+func NewTimelineHub() *TimelineHub {
+	return &TimelineHub{
+		cells: make(map[string]*Timeline),
+		subs:  make(map[int]chan TimelineEvent),
+	}
+}
+
+// Register attaches a cell's timeline to the hub: its series appears in
+// Snapshot and every sample it records is published to subscribers. Call
+// before the cell's run starts. Re-registering a cell name replaces the
+// previous series.
+func (h *TimelineHub) Register(cell string, tl *Timeline) {
+	if h == nil || tl == nil {
+		return
+	}
+	h.mu.Lock()
+	h.cells[cell] = tl
+	h.mu.Unlock()
+	tl.setSink(func(s TimelineSample) { h.publish(cell, s) })
+}
+
+// publish delivers one sample to every subscriber. Sends never block: a
+// subscriber whose buffer is full misses that event (SSE is a live view;
+// /timeline has the complete series).
+func (h *TimelineHub) publish(cell string, s TimelineSample) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.seq++
+	ev := TimelineEvent{Seq: h.seq, Cell: cell, Sample: s}
+	for _, ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Subscribe returns a channel of live timeline events and a cancel
+// function. The channel is closed when the subscription is cancelled or
+// the hub closes; events already buffered drain first, so a client sees
+// every delivered event in order through shutdown.
+func (h *TimelineHub) Subscribe(buf int) (<-chan TimelineEvent, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan TimelineEvent, buf)
+	if h == nil {
+		close(ch)
+		return ch, func() {}
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := h.nextSub
+	h.nextSub++
+	h.subs[id] = ch
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		if c, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(c)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// Snapshot returns every registered cell's current series, sorted by cell
+// name so the output is deterministic regardless of registration order.
+func (h *TimelineHub) Snapshot() []TimelineSeries {
+	if h == nil {
+		return []TimelineSeries{}
+	}
+	h.mu.Lock()
+	names := make([]string, 0, len(h.cells))
+	for name := range h.cells {
+		names = append(names, name)
+	}
+	tls := make([]*Timeline, len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		tls[i] = h.cells[name]
+	}
+	h.mu.Unlock()
+	out := make([]TimelineSeries, len(names))
+	for i, name := range names {
+		out[i] = TimelineSeries{Cell: name, Interval: tls[i].Interval(), Samples: tls[i].Samples()}
+	}
+	return out
+}
+
+// Close closes every subscriber channel (after buffered events drain on the
+// receiver side) and drops future publishes. Idempotent and nil-safe.
+func (h *TimelineHub) Close() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for id, ch := range h.subs {
+		delete(h.subs, id)
+		close(ch)
+	}
+}

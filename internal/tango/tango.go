@@ -71,6 +71,14 @@ type Config struct {
 	// (obtain one via Progress.Lane) so concurrent simulations do not
 	// clobber each other's rows.
 	Progress *obs.Lane
+	// Timeline, when non-nil, receives cumulative machine-wide snapshots at
+	// aligned 2^k-cycle boundaries as simulated time passes them: executed
+	// instructions (busy cycles) plus summed per-processor sync-wait,
+	// read-stall, and write-drain cycles. Unlike the uniprocessor replay
+	// breakdowns, these components do not sum to the boundary cycle — the
+	// processors stall in parallel — so timeline consumers treat tango
+	// series as machine activity curves, not a cycle conservation.
+	Timeline *obs.Timeline
 }
 
 // DefaultConfig returns the paper's machine: 16 processors, 64 KB caches,
@@ -311,8 +319,23 @@ func Run(progs []*asm.Program, memInit func(m *vm.PagedMem), cfg Config) (*Resul
 	if cfg.Progress != nil {
 		s.publishProgress(res.Cycles)
 	}
+	if tl := cfg.Timeline; tl != nil {
+		tl.Finish(s.timelinePoint(res.Cycles))
+	}
 	s.publishMetrics(res)
 	return res, nil
+}
+
+// timelinePoint sums the per-processor counters into one cumulative
+// machine-wide timeline snapshot for the boundary at cycle.
+func (s *sim) timelinePoint(cycle uint64) obs.TimelinePoint {
+	p := obs.TimelinePoint{Cycle: cycle, Instructions: s.steps, Busy: s.steps}
+	for _, pr := range s.procs {
+		p.Sync += pr.stats.SyncWait + pr.stats.SyncTransfer
+		p.Read += pr.stats.ReadStall
+		p.Write += pr.stats.WriteDrain
+	}
+	return p
 }
 
 // publishProgress flushes the machine-wide instruction and cycle deltas
@@ -402,6 +425,14 @@ func (s *sim) loop() error {
 				"%d processors blocked with no pending wakeup", s.blockedCount())
 		}
 		now := next.readyAt
+		// Global time is monotone (the heap pops smallest readyAt first),
+		// so every 2^k boundary the machine passes is crossed exactly once:
+		// record the cumulative machine state before the step at now runs.
+		if tl := s.cfg.Timeline; tl != nil {
+			for b := tl.Boundary(); b <= now; b = tl.Boundary() {
+				tl.Record(s.timelinePoint(b))
+			}
+		}
 		if next.th.Executed >= s.cfg.MaxInstrs {
 			return s.machineError("runaway", now,
 				"cpu %d exceeded %d instructions (runaway program?)", next.id, s.cfg.MaxInstrs)

@@ -29,6 +29,11 @@ type obsBenchReport struct {
 	DisabledNs   float64 `json:"disabled_ns_per_op"`
 	EnabledNs    float64 `json:"enabled_ns_per_op"`
 	OverheadPct  float64 `json:"enabled_overhead_pct"`
+	// TimelineNs is the replay cost with only the interval sampler attached
+	// (the `hidelat timeline` configuration); its overhead is measured
+	// against the fully-disabled baseline.
+	TimelineNs          float64 `json:"timeline_ns_per_op"`
+	TimelineOverheadPct float64 `json:"timeline_overhead_pct"`
 }
 
 func BenchmarkObsOverhead(b *testing.B) {
@@ -72,7 +77,24 @@ func BenchmarkObsOverhead(b *testing.B) {
 		}
 		rep.EnabledNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	})
+	b.Run("timeline", func(b *testing.B) {
+		b.ReportAllocs()
+		// One sampler per replay, as the timeline step runs it: the dominant
+		// cost is the per-cycle boundary check and occupancy sums, not the
+		// bounded ring (at most 256 points regardless of run length).
+		cfg := cpu.Config{Model: consistency.RC, Window: 64}
+		for i := 0; i < b.N; i++ {
+			cfg.Timeline = obs.NewTimeline(10, 256)
+			if _, err := cpu.RunDS(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rep.TimelineNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
 
+	if rep.DisabledNs > 0 && rep.TimelineNs > 0 {
+		rep.TimelineOverheadPct = 100 * (rep.TimelineNs - rep.DisabledNs) / rep.DisabledNs
+	}
 	if rep.DisabledNs > 0 && rep.EnabledNs > 0 {
 		rep.OverheadPct = 100 * (rep.EnabledNs - rep.DisabledNs) / rep.DisabledNs
 		b.ReportMetric(rep.OverheadPct, "%enabled-overhead")
