@@ -1,0 +1,135 @@
+package dist
+
+// Admission control for the coordinator: a bounded two-stage gate. At most
+// maxActive requests run at once; up to maxQueued more wait; past that
+// high-water mark acquire fails immediately and the handler answers 429
+// with Retry-After, so a thundering herd of claims queues (or sheds)
+// instead of piling goroutines onto the coordinator. Waiters drain fairly:
+// FIFO within a client, round-robin across clients, so one aggressive
+// worker cannot starve the rest.
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errSaturated is acquire's answer past the high-water mark.
+var errSaturated = errors.New("dist: admission queue full")
+
+type waiter struct {
+	ch chan struct{}
+	// dead marks a waiter whose request was canceled while queued; release
+	// discards it instead of granting.
+	dead bool
+}
+
+type gate struct {
+	mu        sync.Mutex
+	active    int
+	maxActive int
+	queued    int
+	maxQueued int
+
+	// clients holds each client's FIFO of waiters; ring lists the client ids
+	// that have waiters, in round-robin grant order, with next as the cursor.
+	clients map[string][]*waiter
+	ring    []string
+	next    int
+}
+
+func newGate(maxActive, maxQueued int) *gate {
+	if maxActive < 1 {
+		maxActive = 1
+	}
+	if maxQueued < 0 {
+		maxQueued = 0
+	}
+	return &gate{maxActive: maxActive, maxQueued: maxQueued, clients: make(map[string][]*waiter)}
+}
+
+// acquire takes a slot for client, waiting in the fair queue when all slots
+// are busy. It returns errSaturated past the high-water mark and ctx's
+// error if canceled while waiting. Every successful acquire must be paired
+// with release.
+func (g *gate) acquire(ctx context.Context, client string) error {
+	g.mu.Lock()
+	if g.active < g.maxActive {
+		g.active++
+		g.mu.Unlock()
+		return nil
+	}
+	if g.queued >= g.maxQueued {
+		g.mu.Unlock()
+		return errSaturated
+	}
+	w := &waiter{ch: make(chan struct{}, 1)}
+	if _, ok := g.clients[client]; !ok {
+		g.ring = append(g.ring, client)
+	}
+	g.clients[client] = append(g.clients[client], w)
+	g.queued++
+	g.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		// Granted: release transferred the slot to us (active unchanged).
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		select {
+		case <-w.ch:
+			// The grant raced the cancellation; hand the slot to the next
+			// waiter rather than leaking it.
+			g.mu.Unlock()
+			g.release()
+		default:
+			w.dead = true
+			g.queued--
+			g.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+// release frees a slot: the next live waiter (round-robin across clients,
+// FIFO within one) inherits it, otherwise the active count drops.
+func (g *gate) release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for len(g.ring) > 0 {
+		if g.next >= len(g.ring) {
+			g.next = 0
+		}
+		client := g.ring[g.next]
+		q := g.clients[client]
+		for len(q) > 0 && q[0].dead {
+			q = q[1:]
+		}
+		if len(q) == 0 {
+			delete(g.clients, client)
+			g.ring = append(g.ring[:g.next], g.ring[g.next+1:]...)
+			continue
+		}
+		w := q[0]
+		q = q[1:]
+		if len(q) == 0 {
+			delete(g.clients, client)
+			g.ring = append(g.ring[:g.next], g.ring[g.next+1:]...)
+		} else {
+			g.clients[client] = q
+			g.next++
+		}
+		g.queued--
+		w.ch <- struct{}{}
+		return
+	}
+	g.active--
+}
+
+// status reports the gate's counters for /state.
+func (g *gate) status() (active, queued int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.active, g.queued
+}

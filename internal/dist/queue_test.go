@@ -1,0 +1,258 @@
+package dist
+
+// Unit tests for the lease queue and the admission gate, on a fake clock:
+// lease expiry and reclamation, the retry budget degrading to CellError,
+// duplicate and corrupted results, and fair bounded admission.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dynsched/internal/cpu"
+	"dynsched/internal/exp"
+	"dynsched/internal/obs"
+)
+
+// testQueue builds a queue on a fake clock holding the first n Figure 3
+// cells of one app.
+func testQueue(t *testing.T, n, retries int) (*queue, *time.Time) {
+	t.Helper()
+	now := time.Unix(1000, 0)
+	q := newQueue(time.Second, retries, time.Millisecond, 4*time.Millisecond,
+		obs.NewJobBoard(), func() time.Time { return now })
+	specs := exp.Figure3Specs()[:n]
+	if err := q.start(n); err != nil {
+		t.Fatal(err)
+	}
+	q.addApp(0, "mp3d", specs, "deadbeef")
+	return q, &now
+}
+
+func TestQueueLeaseExpiryReassigns(t *testing.T) {
+	q, now := testQueue(t, 1, 2)
+	job, _ := q.claim("w1")
+	if job == nil || job.Attempt != 1 {
+		t.Fatalf("first claim: %+v", job)
+	}
+	// Another worker sees nothing while the lease is live.
+	if j, resp := q.claim("w2"); j != nil || !resp.Wait {
+		t.Fatalf("claim during live lease: job=%v resp=%+v", j, resp)
+	}
+	// Heartbeats extend the lease past its original expiry.
+	*now = now.Add(800 * time.Millisecond)
+	q.heartbeat("w1", []int{job.ID})
+	*now = now.Add(800 * time.Millisecond) // 1.6s after claim, 0.8s after renewal
+	if j, _ := q.claim("w2"); j != nil {
+		t.Fatal("heartbeat-renewed lease was stolen")
+	}
+	// Silence expires it; the backoff window must pass before reassignment.
+	*now = now.Add(2 * time.Second)
+	if j, resp := q.claim("w2"); j != nil || !resp.Wait {
+		t.Fatalf("reclaimed cell handed out inside its backoff window: %+v", j)
+	}
+	*now = now.Add(10 * time.Millisecond)
+	job2, _ := q.claim("w2")
+	if job2 == nil || job2.Attempt != 2 {
+		t.Fatalf("post-expiry claim: %+v", job2)
+	}
+	// The original worker's late heartbeat is ignored: the lease moved on.
+	q.heartbeat("w1", []int{job2.ID})
+	*now = now.Add(900 * time.Millisecond)
+	if j, _ := q.claim("w3"); j != nil {
+		t.Fatal("stale heartbeat from the old worker must not shorten the new lease")
+	}
+}
+
+func TestQueueRetryBudgetDegradesToCellError(t *testing.T) {
+	q, now := testQueue(t, 1, 1) // attempts budget: 2
+	for attempt := 1; attempt <= 2; attempt++ {
+		job, _ := q.claim("w1")
+		if job == nil {
+			t.Fatalf("attempt %d: no job (backoff not elapsed?)", attempt)
+		}
+		if found, ok := q.result(resultRequest{Worker: "w1", ID: job.ID, Error: "boom"}); !found || !ok {
+			t.Fatalf("attempt %d: result found=%v ok=%v", attempt, found, ok)
+		}
+		*now = now.Add(10 * time.Millisecond) // clear the requeue backoff
+	}
+	_, resp := q.claim("w1")
+	if !resp.Done {
+		t.Fatalf("queue not done after budget exhausted: %+v", resp)
+	}
+	_, _, cerr := q.outcome(0)
+	if cerr == nil || cerr.Attempts != 2 || cerr.Index != 0 {
+		t.Fatalf("outcome cerr = %+v, want 2 attempts at index 0", cerr)
+	}
+}
+
+func TestQueuePermanentFailureSkipsRetries(t *testing.T) {
+	q, _ := testQueue(t, 1, 5)
+	job, _ := q.claim("w1")
+	q.result(resultRequest{Worker: "w1", ID: job.ID, Error: "bad spec", Permanent: true})
+	_, resp := q.claim("w1")
+	if !resp.Done {
+		t.Fatalf("permanent failure must not be retried: %+v", resp)
+	}
+	if _, _, cerr := q.outcome(0); cerr == nil || cerr.Attempts != 1 {
+		t.Fatalf("outcome = %+v, want CellError after 1 attempt", cerr)
+	}
+}
+
+func TestQueueResultChecksumAndDuplicates(t *testing.T) {
+	q, _ := testQueue(t, 1, 0)
+	job, _ := q.claim("w1")
+	b := cpu.Breakdown{Busy: 100, Read: 50}
+	// A mangled payload is rejected, leaving the cell leased.
+	if _, ok := q.result(resultRequest{Worker: "w1", ID: job.ID, Breakdown: b, Instructions: 7, Check: "0000000000000000"}); ok {
+		t.Fatal("corrupted result accepted")
+	}
+	good := resultRequest{Worker: "w1", ID: job.ID, Breakdown: b, Instructions: 7,
+		Check: resultCheck(job.ID, b, 7)}
+	if _, ok := q.result(good); !ok {
+		t.Fatal("valid result rejected")
+	}
+	// A duplicate (reclaimed-then-reported-twice) is acknowledged, and the
+	// first answer stands even if the duplicate differs.
+	dup := good
+	dup.Instructions = 999
+	dup.Check = resultCheck(job.ID, b, 999)
+	if found, ok := q.result(dup); !found || !ok {
+		t.Fatal("duplicate result must be acknowledged")
+	}
+	gotB, instructions, cerr := q.outcome(0)
+	if cerr != nil || gotB != b || instructions != 7 {
+		t.Fatalf("outcome = %+v/%d/%v, want first result to stand", gotB, instructions, cerr)
+	}
+	if found, _ := q.result(resultRequest{Worker: "w1", ID: 42}); found {
+		t.Fatal("unknown job id must report not-found")
+	}
+}
+
+func TestQueueFIFOAndBackoffOrdering(t *testing.T) {
+	q, now := testQueue(t, 3, 3)
+	// Claims hand out cells in enqueue order.
+	j0, _ := q.claim("w1")
+	j1, _ := q.claim("w1")
+	if j0.ID != 0 || j1.ID != 1 {
+		t.Fatalf("claims out of order: %d, %d", j0.ID, j1.ID)
+	}
+	// A failed cell requeues behind its backoff; the untouched cell 2 is
+	// claimable immediately.
+	q.result(resultRequest{Worker: "w1", ID: j0.ID, Error: "transient"})
+	j2, _ := q.claim("w1")
+	if j2 == nil || j2.ID != 2 {
+		t.Fatalf("claim = %+v, want cell 2 while cell 0 backs off", j2)
+	}
+	*now = now.Add(10 * time.Millisecond)
+	jr, _ := q.claim("w1")
+	if jr == nil || jr.ID != 0 || jr.Attempt != 2 {
+		t.Fatalf("requeued claim = %+v, want cell 0 attempt 2", jr)
+	}
+}
+
+func TestGateBoundsAndSheds(t *testing.T) {
+	g := newGate(1, 1)
+	if err := g.acquire(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter queues; the next is shed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	waited := make(chan error, 1)
+	go func() { waited <- g.acquire(ctx, "b") }()
+	for {
+		if _, queued := g.status(); queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := g.acquire(context.Background(), "c"); !errors.Is(err, errSaturated) {
+		t.Fatalf("past high water: %v, want errSaturated", err)
+	}
+	// Release hands the slot to the waiter (active stays 1).
+	g.release()
+	if err := <-waited; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	if active, queued := g.status(); active != 1 || queued != 0 {
+		t.Fatalf("after transfer: active=%d queued=%d, want 1/0", active, queued)
+	}
+	g.release()
+	if active, _ := g.status(); active != 0 {
+		t.Fatalf("active = %d after final release", active)
+	}
+}
+
+func TestGateCanceledWaiterIsDiscarded(t *testing.T) {
+	g := newGate(1, 4)
+	if err := g.acquire(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- g.acquire(ctx, "b") }()
+	for {
+		if _, queued := g.status(); queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: %v", err)
+	}
+	// Releasing must not grant to the dead waiter: the slot frees.
+	g.release()
+	if active, queued := g.status(); active != 0 || queued != 0 {
+		t.Fatalf("after release past dead waiter: active=%d queued=%d", active, queued)
+	}
+}
+
+func TestGateFairAcrossClients(t *testing.T) {
+	g := newGate(1, 8)
+	if err := g.acquire(context.Background(), "hold"); err != nil {
+		t.Fatal(err)
+	}
+	// Client a queues three waiters, client b one; round-robin must grant b
+	// second, not last.
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	enqueue := func(client string, depth int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.acquire(context.Background(), client); err != nil {
+				t.Errorf("acquire %s: %v", client, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, client)
+			mu.Unlock()
+			g.release()
+		}()
+		// Wait until this waiter is queued so arrival order is fixed.
+		for {
+			if _, queued := g.status(); queued == depth {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	enqueue("a", 1)
+	enqueue("a", 2)
+	enqueue("a", 3)
+	enqueue("b", 4)
+	g.release() // chain: each grantee releases, draining the queue
+	wg.Wait()
+	if len(order) != 4 {
+		t.Fatalf("granted %d, want 4", len(order))
+	}
+	// Round-robin: a then b alternate while both have waiters.
+	if order[0] != "a" || order[1] != "b" {
+		t.Fatalf("grant order %v, want client b granted second (round-robin)", order)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime/debug"
 	"strings"
 	"time"
@@ -97,19 +98,67 @@ func isPermanent(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// IsPermanent is the exported form of isPermanent, for callers outside the
+// scheduler that must apply the same retry policy — the distributed worker
+// classifies a replay failure before reporting it, so the coordinator
+// requeues only what a local attempt() would have retried.
+func IsPermanent(err error) bool { return isPermanent(err) }
+
 // DefaultRetryBackoff is the first-retry delay when Options.RetryBackoff is
 // zero; it doubles on each subsequent attempt.
 const DefaultRetryBackoff = 50 * time.Millisecond
 
+// DefaultRetryMaxBackoff caps the doubling when Options.RetryMaxBackoff is
+// zero: past the cap every further retry waits the same bounded time, so a
+// high retry budget cannot grow into minute-long sleeps.
+const DefaultRetryMaxBackoff = 2 * time.Second
+
+// RetryDelay returns the wait before retrying attempt a (1-based: the delay
+// after the a-th failed attempt) of the cell labelled label: base doubling
+// per attempt, capped at max, with half the capped delay replaced by a
+// jitter hashed from (label, attempt). The jitter decorrelates cells that
+// fail together — a coordinator requeueing a whole dead worker's cells must
+// not have them all retry in lockstep — while staying a pure function of
+// its arguments, so retry schedules are reproducible in tests and the delay
+// never exceeds max. base <= 0 selects DefaultRetryBackoff, max <= 0
+// DefaultRetryMaxBackoff.
+func RetryDelay(label string, a int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	if max <= 0 {
+		max = DefaultRetryMaxBackoff
+	}
+	if base > max {
+		base = max
+	}
+	d := base
+	for i := 1; i < a && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Equal jitter: keep half the exponential delay, hash the other half, so
+	// the wait stays within [d/2, d] and under the cap.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", label, a)
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(h.Sum64()%uint64(half)+1)
+}
+
 // attempt runs one cell's work with panic isolation and retry: a panic is
 // recovered into a *CellError with its stack, transient errors are retried
-// up to Options.Retries extra times with doubling backoff, and permanent
-// errors (watchdog kills, cancellation, cached generation failures) stop
-// immediately. It returns nil on success.
+// up to Options.Retries extra times with capped, jittered doubling backoff
+// (see RetryDelay), and permanent errors (watchdog kills, cancellation,
+// cached generation failures) stop immediately. It returns nil on success.
 func (o *Options) attempt(label string, index int, fn func() error) *CellError {
-	backoff := o.RetryBackoff
-	if backoff <= 0 {
-		backoff = DefaultRetryBackoff
+	sleep := o.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
 	}
 	var last *CellError
 	for a := 1; a <= o.Retries+1; a++ {
@@ -122,8 +171,7 @@ func (o *Options) attempt(label string, index int, fn func() error) *CellError {
 			break
 		}
 		if a <= o.Retries {
-			time.Sleep(backoff)
-			backoff *= 2
+			sleep(RetryDelay(label, a, o.RetryBackoff, o.RetryMaxBackoff))
 		}
 	}
 	return last

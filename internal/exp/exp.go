@@ -80,6 +80,14 @@ type Options struct {
 	// RetryBackoff is the delay before the first retry, doubling on each
 	// subsequent one; 0 selects DefaultRetryBackoff.
 	RetryBackoff time.Duration
+	// RetryMaxBackoff caps the doubling retry delay; 0 selects
+	// DefaultRetryMaxBackoff. The actual waits are jittered deterministically
+	// per cell (see RetryDelay) and never exceed the cap.
+	RetryMaxBackoff time.Duration
+	// Sleep replaces time.Sleep for the retry backoff waits, letting tests
+	// record and fast-forward the deterministic retry schedule. nil sleeps
+	// for real.
+	Sleep func(time.Duration)
 	// Faults, when non-nil, injects deterministic failures at named sites
 	// ("gen.<app>", "cell.<label>") — the fault-injection harness used by
 	// the robustness tests and the -race CI job. nil disables injection.
@@ -371,23 +379,11 @@ func runArch(tr *trace.Trace, arch string, cfg cpu.Config) (cpu.Result, error) {
 	return cpu.Result{}, fmt.Errorf("exp: unknown architecture %q", arch)
 }
 
-// figure3Cells is the §4.1 processor/model matrix: BASE; SSBR, SS, and
-// DS-256 under SC and PC; SSBR, SS, and the full window sweep under RC.
+// figure3Cells is the §4.1 processor/model matrix, derived from the
+// serializable Figure3Specs so the local and distributed sweeps replay the
+// identical cell list.
 func figure3Cells() []cell {
-	cells := []cell{{label: "BASE", arch: "BASE", model: consistency.SC}}
-	for _, m := range []consistency.Model{consistency.SC, consistency.PC} {
-		for _, arch := range []string{"SSBR", "SS"} {
-			cells = append(cells, cell{label: fmt.Sprintf("%s-%s", m, arch), arch: arch, model: m})
-		}
-		cells = append(cells, cell{label: fmt.Sprintf("%s-DS256", m), arch: "DS", model: m, window: 256})
-	}
-	for _, arch := range []string{"SSBR", "SS"} {
-		cells = append(cells, cell{label: fmt.Sprintf("RC-%s", arch), arch: arch, model: consistency.RC})
-	}
-	for _, w := range Windows {
-		cells = append(cells, cell{label: fmt.Sprintf("RC-DS%d", w), arch: "DS", model: consistency.RC, window: w})
-	}
-	return cells
+	return specCells(Figure3Specs())
 }
 
 // Figure3 runs the §4.1 processor/model matrix over one application trace,
@@ -396,28 +392,10 @@ func Figure3(tr *trace.Trace) ([]Column, error) {
 	return runCells(tr, figure3Cells(), 0, nil, "", new(Options))
 }
 
-// figure4Cells is the §4.1.3 isolation experiment under RC: the window sweep
-// with perfect branch prediction, then with perfect prediction and ignored
-// data dependences. BASE is included as the reference column.
+// figure4Cells is the §4.1.3 isolation experiment under RC, derived from the
+// serializable Figure4Specs.
 func figure4Cells() []cell {
-	cells := []cell{{label: "BASE", arch: "BASE"}}
-	for _, noDeps := range []bool{false, true} {
-		noDeps := noDeps
-		for _, w := range Windows {
-			label := fmt.Sprintf("PBP-%d", w)
-			if noDeps {
-				label = fmt.Sprintf("PBP+ND-%d", w)
-			}
-			cells = append(cells, cell{
-				label: label, arch: "DS", model: consistency.RC, window: w,
-				mutate: func(c *cpu.Config) {
-					c.Predictor = bpred.Perfect{}
-					c.IgnoreDataDeps = noDeps
-				},
-			})
-		}
-	}
-	return cells
+	return specCells(Figure4Specs())
 }
 
 // Figure4 runs the §4.1.3 isolation experiment over one application trace,

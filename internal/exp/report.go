@@ -37,7 +37,7 @@ func (e *Experiment) Figure4All() ([]AppColumns, error) {
 // Issue4All runs the §4.2 multiple-issue experiment: the RC window sweep
 // with a decode/issue width of four.
 func (e *Experiment) Issue4All() ([]AppColumns, error) {
-	return e.perAppCells(windowSweepCells(consistency.RC, func(c *cpu.Config) { c.IssueWidth = 4 }))
+	return e.perAppCells(specCells(Issue4Specs()))
 }
 
 // SCPrefetchAll evaluates the non-binding-prefetch technique of reference
@@ -46,7 +46,7 @@ func (e *Experiment) Issue4All() ([]AppColumns, error) {
 // miss. The SC+PF columns can be compared against plain SC and RC from
 // Figure 3.
 func (e *Experiment) SCPrefetchAll() ([]AppColumns, error) {
-	return e.perAppCells(windowSweepCells(consistency.SC, func(c *cpu.Config) { c.Prefetch = true }))
+	return e.perAppCells(specCells(SCPrefetchSpecs()))
 }
 
 // MissDistanceReport renders the §4.1.3 distance-between-read-misses
@@ -73,13 +73,13 @@ func (e *Experiment) MissDistanceReport() (string, error) {
 // WindowSweepAll runs the plain RC window sweep for every application; with
 // Options.MissPenalty set to 100 this is the §4.2 higher-latency experiment.
 func (e *Experiment) WindowSweepAll() ([]AppColumns, error) {
-	return e.perAppCells(windowSweepCells(consistency.RC, nil))
+	return e.perAppCells(specCells(WindowSweepSpecs(consistency.RC)))
 }
 
 // WOAll evaluates the weak ordering model (described in §2.1 but not
 // plotted in the paper) across the window sweep — an extension experiment.
 func (e *Experiment) WOAll() ([]AppColumns, error) {
-	return e.perAppCells(windowSweepCells(consistency.WO, nil))
+	return e.perAppCells(specCells(WindowSweepSpecs(consistency.WO)))
 }
 
 // FormatAppColumns renders one figure for all applications.

@@ -303,3 +303,66 @@ func TestGenerationPanicDoesNotPoisonCache(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryScheduleJitterAndCap pins the retry-backoff contract: the waits
+// double from RetryBackoff, never exceed RetryMaxBackoff, carry a
+// deterministic per-(label, attempt) jitter in the upper half of the
+// exponential delay, and are observable through the injectable sleeper — a
+// second identical run records the identical schedule.
+func TestRetryScheduleJitterAndCap(t *testing.T) {
+	const label = "mp3d RC-DS64"
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	record := func(label string) []time.Duration {
+		var sleeps []time.Duration
+		o := &Options{
+			Retries: 6, RetryBackoff: base, RetryMaxBackoff: max,
+			Sleep: func(d time.Duration) { sleeps = append(sleeps, d) },
+		}
+		ce := o.attempt(label, 0, func() error { return errors.New("transient") })
+		if ce == nil || ce.Attempts != 7 {
+			t.Fatalf("attempt result = %+v, want terminal failure after 7 attempts", ce)
+		}
+		return sleeps
+	}
+	sleeps := record(label)
+	if len(sleeps) != 6 {
+		t.Fatalf("recorded %d sleeps, want 6", len(sleeps))
+	}
+	for i, d := range sleeps {
+		a := i + 1
+		if want := RetryDelay(label, a, base, max); d != want {
+			t.Errorf("attempt %d slept %v, want RetryDelay = %v", a, d, want)
+		}
+		exp := base << i
+		if exp > max {
+			exp = max
+		}
+		if d <= exp/2 || d > exp {
+			t.Errorf("attempt %d slept %v, want within (%v, %v]", a, d, exp/2, exp)
+		}
+	}
+	// The capped tail still spreads: attempts 4-6 all hit the 80ms cap, but
+	// their jittered waits must not be identical (lockstep retries are the
+	// failure mode the jitter exists to break).
+	if sleeps[3] == sleeps[4] && sleeps[4] == sleeps[5] {
+		t.Errorf("capped retries slept in lockstep: %v", sleeps[3:])
+	}
+	// Reproducible: the schedule is a pure function of the label.
+	again := record(label)
+	for i := range sleeps {
+		if sleeps[i] != again[i] {
+			t.Fatalf("retry schedule not deterministic: %v vs %v", sleeps, again)
+		}
+	}
+	// Decorrelated: a different cell label yields a different schedule.
+	other := record("lu SC-SS")
+	same := true
+	for i := range sleeps {
+		if sleeps[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("labels %q and %q share a retry schedule: %v", label, "lu SC-SS", sleeps)
+	}
+}

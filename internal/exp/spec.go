@@ -1,0 +1,235 @@
+package exp
+
+// Serializable cell specifications. A sweep cell is normally a closure over
+// cpu.Config, which cannot cross a process boundary; CellSpec is the
+// closed, wire-encodable subset that covers every distributable sweep (the
+// figure matrices and window sweeps). The local figure constructors derive
+// their cell lists from the same specs, so the in-process and distributed
+// matrices cannot drift apart — a coordinator shipping Figure3Specs() to
+// remote workers replays exactly the cells Figure3All runs locally, and the
+// merged results are byte-identical. Ablations that need arbitrary closures
+// (predictor construction, buffer depths) stay local-only.
+
+import (
+	"fmt"
+
+	"dynsched/internal/bpred"
+	"dynsched/internal/consistency"
+	"dynsched/internal/cpu"
+	"dynsched/internal/trace"
+)
+
+// CellSpec names one replay cell of a figure or sweep in closed form: the
+// architecture, consistency model, window, and the handful of named knobs
+// the paper's experiments use. The zero value of each knob means "leave the
+// default", so a spec round-trips through JSON without loss.
+type CellSpec struct {
+	Label          string `json:"label"`
+	Arch           string `json:"arch"`  // "BASE", "SSBR", "SS", "DS"
+	Model          string `json:"model"` // "SC", "PC", "WO", "RC"
+	Window         int    `json:"window,omitempty"`
+	IssueWidth     int    `json:"issue_width,omitempty"`
+	Prefetch       bool   `json:"prefetch,omitempty"`
+	PerfectBP      bool   `json:"perfect_bp,omitempty"`
+	IgnoreDataDeps bool   `json:"ignore_data_deps,omitempty"`
+}
+
+// Validate rejects specs that could not have come from a spec constructor —
+// the coordinator and worker both call it before trusting a wire value.
+func (s CellSpec) Validate() error {
+	switch s.Arch {
+	case "BASE", "SSBR", "SS", "DS":
+	default:
+		return fmt.Errorf("exp: spec %q: unknown architecture %q", s.Label, s.Arch)
+	}
+	if _, err := consistency.ParseModel(s.Model); err != nil {
+		return fmt.Errorf("exp: spec %q: %w", s.Label, err)
+	}
+	if s.Window < 0 || s.Window > 1<<20 {
+		return fmt.Errorf("exp: spec %q: window %d out of range", s.Label, s.Window)
+	}
+	if s.IssueWidth < 0 || s.IssueWidth > 64 {
+		return fmt.Errorf("exp: spec %q: issue width %d out of range", s.Label, s.IssueWidth)
+	}
+	return nil
+}
+
+// cell converts the spec to the scheduler's internal cell form.
+func (s CellSpec) cell() (cell, error) {
+	if err := s.Validate(); err != nil {
+		return cell{}, err
+	}
+	m, _ := consistency.ParseModel(s.Model)
+	c := cell{label: s.Label, arch: s.Arch, model: m, window: s.Window}
+	if s.IssueWidth != 0 || s.Prefetch || s.PerfectBP || s.IgnoreDataDeps {
+		s := s
+		c.mutate = func(cfg *cpu.Config) {
+			if s.IssueWidth != 0 {
+				cfg.IssueWidth = s.IssueWidth
+			}
+			if s.Prefetch {
+				cfg.Prefetch = true
+			}
+			if s.PerfectBP {
+				cfg.Predictor = bpred.Perfect{}
+			}
+			cfg.IgnoreDataDeps = s.IgnoreDataDeps
+		}
+	}
+	return c, nil
+}
+
+// specCells converts a constructor-produced spec list; the constructors only
+// emit valid specs, so a failure here is a programming error.
+func specCells(specs []CellSpec) []cell {
+	cells := make([]cell, len(specs))
+	for i, s := range specs {
+		c, err := s.cell()
+		if err != nil {
+			panic(err)
+		}
+		cells[i] = c
+	}
+	return cells
+}
+
+// Figure3Specs is the §4.1 processor/model matrix in serializable form:
+// BASE; SSBR, SS, and DS-256 under SC and PC; SSBR, SS, and the full window
+// sweep under RC.
+func Figure3Specs() []CellSpec {
+	specs := []CellSpec{{Label: "BASE", Arch: "BASE", Model: "SC"}}
+	for _, m := range []consistency.Model{consistency.SC, consistency.PC} {
+		for _, arch := range []string{"SSBR", "SS"} {
+			specs = append(specs, CellSpec{Label: fmt.Sprintf("%s-%s", m, arch), Arch: arch, Model: m.String()})
+		}
+		specs = append(specs, CellSpec{Label: fmt.Sprintf("%s-DS256", m), Arch: "DS", Model: m.String(), Window: 256})
+	}
+	for _, arch := range []string{"SSBR", "SS"} {
+		specs = append(specs, CellSpec{Label: fmt.Sprintf("RC-%s", arch), Arch: arch, Model: "RC"})
+	}
+	for _, w := range Windows {
+		specs = append(specs, CellSpec{Label: fmt.Sprintf("RC-DS%d", w), Arch: "DS", Model: "RC", Window: w})
+	}
+	return specs
+}
+
+// Figure4Specs is the §4.1.3 isolation experiment under RC: the window sweep
+// with perfect branch prediction, then with perfect prediction and ignored
+// data dependences. BASE is included as the reference column.
+func Figure4Specs() []CellSpec {
+	specs := []CellSpec{{Label: "BASE", Arch: "BASE", Model: "SC"}}
+	for _, noDeps := range []bool{false, true} {
+		for _, w := range Windows {
+			label := fmt.Sprintf("PBP-%d", w)
+			if noDeps {
+				label = fmt.Sprintf("PBP+ND-%d", w)
+			}
+			specs = append(specs, CellSpec{
+				Label: label, Arch: "DS", Model: "RC", Window: w,
+				PerfectBP: true, IgnoreDataDeps: noDeps,
+			})
+		}
+	}
+	return specs
+}
+
+// WindowSweepSpecs is the plain DS window sweep under a model with BASE as
+// the reference column (the latency-100 and weak-ordering experiments).
+func WindowSweepSpecs(model consistency.Model) []CellSpec {
+	specs := []CellSpec{{Label: "BASE", Arch: "BASE", Model: "SC"}}
+	for _, w := range Windows {
+		specs = append(specs, CellSpec{
+			Label: fmt.Sprintf("%s-DS%d", model, w), Arch: "DS", Model: model.String(), Window: w,
+		})
+	}
+	return specs
+}
+
+// Issue4Specs is the §4.2 multiple-issue experiment: the RC window sweep at
+// a decode/issue width of four.
+func Issue4Specs() []CellSpec {
+	specs := WindowSweepSpecs(consistency.RC)
+	for i := range specs {
+		if specs[i].Arch == "DS" {
+			specs[i].IssueWidth = 4
+		}
+	}
+	return specs
+}
+
+// SCPrefetchSpecs is the non-binding-prefetch extension: the SC window sweep
+// with the prefetcher enabled.
+func SCPrefetchSpecs() []CellSpec {
+	specs := WindowSweepSpecs(consistency.SC)
+	for i := range specs {
+		if specs[i].Arch == "DS" {
+			specs[i].Prefetch = true
+		}
+	}
+	return specs
+}
+
+// SweepSpecs maps a distributable experiment step name to its cell specs.
+// The step names match the hidelat experiments; ok is false for steps whose
+// cells need closures (ablations) or that are not cell sweeps at all.
+func SweepSpecs(step string) (specs []CellSpec, ok bool) {
+	switch step {
+	case "fig3":
+		return Figure3Specs(), true
+	case "fig4":
+		return Figure4Specs(), true
+	case "latency100":
+		return WindowSweepSpecs(consistency.RC), true
+	case "issue4":
+		return Issue4Specs(), true
+	case "wo":
+		return WindowSweepSpecs(consistency.WO), true
+	case "scpf":
+		return SCPrefetchSpecs(), true
+	}
+	return nil, false
+}
+
+// RunSpec replays one cell spec over tr — the distributed worker's replay
+// entry point. Replay is a pure function of the trace and the spec (the
+// harness options contribute only cancellation and the time-skip toggle,
+// neither of which changes results), so the returned column is
+// byte-identical to running the same cell in-process on the coordinator.
+func RunSpec(tr *trace.Trace, spec CellSpec, o *Options) (Column, error) {
+	c, err := spec.cell()
+	if err != nil {
+		return Column{}, err
+	}
+	if o == nil {
+		o = new(Options)
+	}
+	return c.run(tr, o)
+}
+
+// SpecColumn reconstructs a successful cell's column from the spec identity
+// plus the replayed numbers — what the coordinator does with a worker's
+// result, keeping the identity fields under its own control rather than
+// trusting the wire.
+func SpecColumn(spec CellSpec, b cpu.Breakdown, instructions uint64) (Column, error) {
+	if err := spec.Validate(); err != nil {
+		return Column{}, err
+	}
+	m, _ := consistency.ParseModel(spec.Model)
+	return Column{
+		Label: spec.Label, Model: m, Arch: spec.Arch, Window: spec.Window,
+		Breakdown: b, Instructions: instructions,
+	}, nil
+}
+
+// FailedSpecColumn is the placeholder a terminally failed distributed cell
+// leaves in its slot, mirroring the local scheduler's failed-cell marking.
+func FailedSpecColumn(spec CellSpec, ce *CellError) Column {
+	m, _ := consistency.ParseModel(spec.Model)
+	return failedColumn(cell{label: spec.Label, arch: spec.Arch, model: m, window: spec.Window}, ce)
+}
+
+// NormalizeColumns fills the Normalized and ReadHidden fields of a finished
+// column set against cols[0] (the BASE reference) — exported for the
+// distributed coordinator, which merges worker results by index and then
+// normalizes exactly as the local scheduler does.
+func NormalizeColumns(cols []Column) { normalize(cols) }

@@ -6,10 +6,18 @@ package obs
 // The live server's /jobs endpoint serializes the board, turning a
 // multi-hour sweep from a black box into a watchable queue.
 //
+// Finished-job retention is bounded: once more than the retention cap of
+// jobs have finished, the oldest finished entries are evicted from the
+// detailed list (their outcomes stay counted in the Done/Failed summary
+// counters), so a long-lived serve or coordinator process holds at most the
+// cap plus the live jobs no matter how many sweeps it has run. Queued and
+// running jobs are never evicted.
+//
 // A nil *JobBoard is a no-op (Enqueue returns an invalid id that the other
 // methods ignore), so the scheduler publishes unconditionally.
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -22,6 +30,10 @@ const (
 	JobFailed  = "failed"
 )
 
+// DefaultBoardRetention is how many finished jobs a board keeps in detail
+// before evicting the oldest into the summary counters.
+const DefaultBoardRetention = 4096
+
 type boardJob struct {
 	label    string
 	state    string
@@ -33,12 +45,41 @@ type boardJob struct {
 
 // JobBoard tracks the lifecycle of scheduler jobs. Safe for concurrent use.
 type JobBoard struct {
-	mu   sync.Mutex
-	jobs []boardJob
+	mu     sync.Mutex
+	retain int
+	nextID int
+	jobs   map[int]*boardJob
+
+	// finished[finHead:] lists finished job ids oldest-first — the eviction
+	// queue. The head index avoids an O(retain) slide per eviction; the
+	// backing array is compacted once the dead prefix outgrows the cap.
+	finished []int
+	finHead  int
+
+	evictedDone   int
+	evictedFailed int
 }
 
-// NewJobBoard creates an empty board.
-func NewJobBoard() *JobBoard { return &JobBoard{} }
+// NewJobBoard creates an empty board with the default finished-job
+// retention.
+func NewJobBoard() *JobBoard {
+	return &JobBoard{retain: DefaultBoardRetention, jobs: make(map[int]*boardJob)}
+}
+
+// SetRetention bounds how many finished jobs the board keeps in detail
+// (minimum 1). It evicts immediately if the board already holds more.
+func (b *JobBoard) SetRetention(n int) {
+	if b == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.retain = n
+	b.evictLocked()
+}
 
 // Enqueue registers a job in the queued state and returns its id. On a nil
 // board it returns -1, which Start and Finish ignore.
@@ -48,8 +89,10 @@ func (b *JobBoard) Enqueue(label string) int {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.jobs = append(b.jobs, boardJob{label: label, state: JobQueued, queued: time.Now()})
-	return len(b.jobs) - 1
+	id := b.nextID
+	b.nextID++
+	b.jobs[id] = &boardJob{label: label, state: JobQueued, queued: time.Now()}
+	return id
 }
 
 // Start marks the job as running. Safe on a nil board and an invalid id.
@@ -59,9 +102,9 @@ func (b *JobBoard) Start(id int) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if id < len(b.jobs) {
-		b.jobs[id].state = JobRunning
-		b.jobs[id].started = time.Now()
+	if j, ok := b.jobs[id]; ok && j.state == JobQueued {
+		j.state = JobRunning
+		j.started = time.Now()
 	}
 }
 
@@ -73,10 +116,10 @@ func (b *JobBoard) Finish(id int, err error) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if id >= len(b.jobs) {
+	j, ok := b.jobs[id]
+	if !ok || j.state == JobDone || j.state == JobFailed {
 		return
 	}
-	j := &b.jobs[id]
 	j.finished = time.Now()
 	if j.started.IsZero() {
 		j.started = j.finished
@@ -86,6 +129,29 @@ func (b *JobBoard) Finish(id int, err error) {
 		j.err = err.Error()
 	} else {
 		j.state = JobDone
+	}
+	b.finished = append(b.finished, id)
+	b.evictLocked()
+}
+
+// evictLocked drops the oldest finished jobs past the retention cap,
+// folding their outcomes into the summary counters. Caller holds b.mu.
+func (b *JobBoard) evictLocked() {
+	for len(b.finished)-b.finHead > b.retain {
+		id := b.finished[b.finHead]
+		b.finHead++
+		if j, ok := b.jobs[id]; ok {
+			if j.state == JobFailed {
+				b.evictedFailed++
+			} else {
+				b.evictedDone++
+			}
+			delete(b.jobs, id)
+		}
+	}
+	if b.finHead > b.retain && b.finHead*2 > len(b.finished) {
+		b.finished = append(b.finished[:0], b.finished[b.finHead:]...)
+		b.finHead = 0
 	}
 }
 
@@ -99,17 +165,20 @@ type JobStatus struct {
 }
 
 // BoardStatus is a point-in-time view of the whole board, served as JSON by
-// the live server's /jobs endpoint.
+// the live server's /jobs endpoint. Done and Failed count every job ever
+// finished, including those evicted from the detailed Jobs list; Evicted
+// says how many of them the list no longer shows.
 type BoardStatus struct {
 	Queued  int         `json:"queued"`
 	Running int         `json:"running"`
 	Done    int         `json:"done"`
 	Failed  int         `json:"failed"`
+	Evicted int         `json:"evicted,omitempty"`
 	Jobs    []JobStatus `json:"jobs"`
 }
 
-// Status snapshots every job on the board in enqueue order. Safe on a nil
-// board (returns an empty status).
+// Status snapshots every retained job on the board in enqueue order. Safe on
+// a nil board (returns an empty status).
 func (b *JobBoard) Status() BoardStatus {
 	st := BoardStatus{Jobs: []JobStatus{}}
 	if b == nil {
@@ -118,9 +187,17 @@ func (b *JobBoard) Status() BoardStatus {
 	now := time.Now()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for i := range b.jobs {
-		j := &b.jobs[i]
-		js := JobStatus{ID: i, Label: j.label, State: j.state, Err: j.err}
+	st.Done = b.evictedDone
+	st.Failed = b.evictedFailed
+	st.Evicted = b.evictedDone + b.evictedFailed
+	ids := make([]int, 0, len(b.jobs))
+	for id := range b.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		j := b.jobs[id]
+		js := JobStatus{ID: id, Label: j.label, State: j.state, Err: j.err}
 		switch j.state {
 		case JobQueued:
 			st.Queued++
