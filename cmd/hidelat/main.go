@@ -92,6 +92,17 @@
 // schedule. -lease bounds how long a silent worker holds a cell and
 // -queue-max bounds the admission queue (excess requests get 429).
 //
+// Incremental sweeps: -cache DIR (default $HIDELAT_CACHE) memoizes
+// generated traces and per-cell replay results in a persistent
+// content-addressed store, so repeated sweeps only pay for what changed —
+// a warm run's stdout and ledger determinism checksum are byte-identical
+// to the cold run that populated the store. -cache-off disables the store
+// for one run; -cache-verify P recomputes fraction P of the hits from
+// scratch and fails the run on any divergence. The store is maintained
+// with
+//
+//	hidelat cache [-dir DIR] stats|verify|gc [-max-bytes N]|clear
+//
 // The diff subcommand compares two run artifacts:
 //
 //	hidelat diff [-threshold 0.05] [-json] OLD NEW
@@ -120,6 +131,7 @@ import (
 	"dynsched"
 	"dynsched/internal/apps"
 	"dynsched/internal/bpred"
+	"dynsched/internal/cache"
 	"dynsched/internal/consistency"
 	"dynsched/internal/cpu"
 	"dynsched/internal/critpath"
@@ -143,6 +155,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "worker" {
 		return runWorker(args[1:])
 	}
+	if len(args) > 0 && args[0] == "cache" {
+		return runCacheCmd(args[1:])
+	}
 	start := time.Now()
 	fs := flag.NewFlagSet("hidelat", flag.ContinueOnError)
 	scaleName := fs.String("scale", "medium", "problem scale: small, medium, or paper")
@@ -165,6 +180,9 @@ func run(args []string) error {
 	serveAddr := fs.String("serve", "", "serve live /metrics, /jobs, /progress, and /debug/pprof on this address while the run executes (e.g. :8080; :0 picks a free port)")
 	ledgerPath := fs.String("ledger", "", "append one JSON-Lines run record (cycles, MCPI, wall time, determinism checksum) to this file")
 	coordAddr := fs.String("coordinator", "", "run the experiment as a distributed sweep coordinator serving workers on this address (host:port; :0 picks a free port); column experiments only")
+	cacheDir := fs.String("cache", os.Getenv("HIDELAT_CACHE"), "persistent result-cache directory: memoize generated traces and replay-cell results across runs (default $HIDELAT_CACHE)")
+	cacheOff := fs.Bool("cache-off", false, "disable the result cache even when -cache or $HIDELAT_CACHE is set")
+	cacheVerify := fs.Float64("cache-verify", 0, "fraction [0,1] of cell cache hits to recompute and compare; a divergence fails the cell hard")
 	leaseDur := fs.Duration("lease", dist.DefaultLease, "distributed mode: how long a silent worker holds a claimed cell before it is reassigned")
 	queueMax := fs.Int("queue-max", dist.DefaultQueueMax, "distributed mode: admission-queue high-water mark; requests beyond it get 429")
 	cpuProfile := fs.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
@@ -174,7 +192,8 @@ func run(args []string) error {
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "Usage: hidelat [flags] <experiment>\n")
 		fmt.Fprintf(fs.Output(), "       hidelat diff [-threshold 0.05] [-json] OLD NEW\n")
-		fmt.Fprintf(fs.Output(), "       hidelat worker -join http://HOST:PORT [-id NAME]\n\n")
+		fmt.Fprintf(fs.Output(), "       hidelat worker -join http://HOST:PORT [-id NAME]\n")
+		fmt.Fprintf(fs.Output(), "       hidelat cache [-dir DIR] stats|verify|gc [-max-bytes N]|clear\n\n")
 		fmt.Fprintf(fs.Output(), "Experiments: table1 table2 table3 fig3 fig4 summary delays latency100\n")
 		fmt.Fprintf(fs.Output(), "             issue4 wo scpf resched cachegeom contexts contention\n")
 		fmt.Fprintf(fs.Output(), "             machines distances ablate analyze timeline all\n\nFlags:\n")
@@ -218,6 +237,11 @@ func run(args []string) error {
 		return fmt.Errorf("-lease must be > 0, got %v", *leaseDur)
 	case *queueMax < 1:
 		return fmt.Errorf("-queue-max must be >= 1, got %d", *queueMax)
+	case *cacheVerify < 0 || *cacheVerify > 1:
+		return fmt.Errorf("-cache-verify must be in [0,1], got %g", *cacheVerify)
+	}
+	if *cacheVerify > 0 && (*cacheDir == "" || *cacheOff) {
+		return fmt.Errorf("-cache-verify requires an enabled -cache DIR")
 	}
 	// The distributed-mode knobs only mean something with -coordinator, and
 	// the coordinator only shards the column experiments SweepSpecs knows.
@@ -270,6 +294,25 @@ func run(args []string) error {
 	if *metricsOut != "" || *serveAddr != "" || *ledgerPath != "" {
 		metricsReg = obs.NewRegistry()
 		opts.Metrics = metricsReg
+	}
+	if *cacheDir != "" && !*cacheOff {
+		store, err := cache.Open(*cacheDir, cache.Options{Version: dynsched.Version, Metrics: metricsReg})
+		if err != nil {
+			return err
+		}
+		// Close persists the index (LRU metadata, lifetime hit/miss counters);
+		// a failure costs only staleness, never correctness, since Open
+		// rescans the objects directory.
+		defer func() {
+			if cerr := store.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "hidelat: cache index write failed: %v\n", cerr)
+			}
+			if st := store.Stats(); st.Hits+st.Misses > 0 {
+				fmt.Fprintf(os.Stderr, "hidelat: result cache %s: %d hit(s), %d miss(es)\n", *cacheDir, st.Hits, st.Misses)
+			}
+		}()
+		opts.Cache = store
+		opts.CacheVerify = *cacheVerify
 	}
 	var pr *obs.Progress
 	if *progress || *serveAddr != "" {
@@ -420,6 +463,80 @@ func run(args []string) error {
 		stepErr = err
 	}
 	return stepErr
+}
+
+// runCacheCmd implements `hidelat cache <op>`: maintenance of the
+// persistent result cache. stats summarizes the store, verify re-checks
+// every entry end to end (removing corrupt ones and failing the command so
+// CI can gate on it), gc evicts least-recently-used entries down to a byte
+// budget, and clear empties the store.
+func runCacheCmd(args []string) error {
+	fs := flag.NewFlagSet("hidelat cache", flag.ContinueOnError)
+	dir := fs.String("dir", os.Getenv("HIDELAT_CACHE"), "cache directory (default $HIDELAT_CACHE)")
+	maxBytes := fs.Int64("max-bytes", 0, "gc: evict least-recently-used entries until the store holds at most this many bytes")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: hidelat cache [-dir DIR] stats|verify|gc [-max-bytes N]|clear\n\n"+
+			"Maintains the persistent result cache used by -cache DIR:\n"+
+			"  stats   entry count, bytes, and lifetime hit/miss counters\n"+
+			"  verify  re-read every entry (magic, lengths, CRC, key); corrupt\n"+
+			"          entries are removed and the command exits non-zero\n"+
+			"  gc      evict least-recently-used entries down to -max-bytes\n"+
+			"  clear   remove every entry and the index\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	op := ""
+	if fs.NArg() > 0 {
+		op = fs.Arg(0)
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return err
+		}
+	}
+	if op == "" || fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("cache: expected exactly one operation (stats, verify, gc, clear)")
+	}
+	if *dir == "" {
+		return fmt.Errorf("cache: no directory: pass -dir or set $HIDELAT_CACHE")
+	}
+	s, err := cache.Open(*dir, cache.Options{Version: dynsched.Version})
+	if err != nil {
+		return err
+	}
+	switch op {
+	case "stats":
+		st := s.Stats()
+		fmt.Printf("cache %s: %d entries, %d bytes\n", st.Dir, st.Entries, st.Bytes)
+		fmt.Printf("lifetime: %d hit(s), %d miss(es)\n", st.LifetimeHits, st.LifetimeMisses)
+		return nil
+	case "verify":
+		checked, corrupt, err := s.Verify()
+		fmt.Printf("verified %d entries, %d corrupt (removed)\n", checked, corrupt)
+		if err != nil {
+			return err
+		}
+		if corrupt > 0 {
+			return fmt.Errorf("cache: %d corrupt entries found (writes are atomic, so this indicates external damage)", corrupt)
+		}
+		return nil
+	case "gc":
+		if *maxBytes <= 0 {
+			return fmt.Errorf("cache gc: -max-bytes must be > 0 (use clear to empty the store)")
+		}
+		removed, freed, err := s.GC(*maxBytes)
+		fmt.Printf("evicted %d entries, freed %d bytes\n", removed, freed)
+		return err
+	case "clear":
+		if err := s.Clear(); err != nil {
+			return err
+		}
+		fmt.Printf("cleared cache %s\n", *dir)
+		return nil
+	}
+	fs.Usage()
+	return fmt.Errorf("cache: unknown operation %q", op)
 }
 
 // runDiff implements `hidelat diff OLD NEW`: load the tracked metrics of two
@@ -603,6 +720,7 @@ func distCoordinate(ctx context.Context, e *exp.Experiment, step, addr string, l
 		RetryMaxBackoff: opts.RetryMaxBackoff,
 		QueueMax:        queueMax,
 		Board:           opts.Board,
+		Cache:           opts.Cache,
 	})
 	srv, err := dist.StartServer(addr, co)
 	if err != nil {

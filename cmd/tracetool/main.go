@@ -233,6 +233,11 @@ func info(args []string) error {
 	}
 	fmt.Printf("app=%s cpu=%d/%d missPenalty=%d instructions=%d\n",
 		tr.App, tr.CPU, tr.NumCPUs, tr.MissPenalty, tr.Len())
+	if addr, err := tr.ContentAddr(); err == nil {
+		// The FNV-64a over the serialized trace — the identity the result
+		// cache and the distributed coordinator key replays by.
+		fmt.Printf("content address %s (fnv64a of serialized trace)\n", addr)
+	}
 	if st, err := statFile(args[0]); err == nil {
 		fmt.Println(st.Format())
 	} else {

@@ -57,7 +57,7 @@ import (
 
 // Version identifies the dynsched build; the command-line tools report it
 // via their -version flags.
-const Version = "0.9.0"
+const Version = "0.10.0"
 
 // Consistency models (§2.1 of the paper).
 const (

@@ -1,0 +1,384 @@
+package cache
+
+// Corruption, crash-debris, concurrency, and eviction tests for the
+// content-addressed store. The invariant under test throughout: the store
+// may lose entries (any damage degrades to a miss and a recompute) but must
+// never return a payload that does not match its key.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dynsched/internal/obs"
+)
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := open(t, t.TempDir())
+	payload := []byte("the replayed numbers")
+	if _, ok := s.Get("cell", "k"); ok {
+		t.Fatal("hit on an empty store")
+	}
+	if err := s.Put("cell", "k", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("cell", "k")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want the stored payload", got, ok)
+	}
+	// Kind is part of the identity: the same key under another kind misses.
+	if _, ok := s.Get("trace", "k"); ok {
+		t.Fatal("kind must namespace keys")
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 entry, 1 hit, 2 misses", st)
+	}
+}
+
+// entryFile returns the on-disk path of (kind, key)'s entry.
+func entryFile(s *Store, kind, key string) string {
+	return s.path(addrOf(s.fullKey(kind, key)))
+}
+
+func TestTruncatedEntryIsAMissAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	if err := s.Put("trace", "k", payload); err != nil {
+		t.Fatal(err)
+	}
+	path := entryFile(s, "trace", "k")
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn write at any prefix length must read as a miss, never as data.
+	for _, n := range []int{0, 3, 4, 7, 11, len(whole) / 2, len(whole) - 1} {
+		if err := os.WriteFile(path, whole[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get("trace", "k"); ok {
+			t.Fatalf("truncation to %d bytes returned a hit", n)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("corrupt entry (truncated to %d) not removed", n)
+		}
+		// The recompute path: Put overwrites cleanly and Get works again.
+		if err := s.Put("trace", "k", payload); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get("trace", "k"); !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("store did not recover after truncation to %d", n)
+		}
+	}
+}
+
+func TestBitFlipIsRejectedByCRC(t *testing.T) {
+	s := open(t, t.TempDir())
+	payload := bytes.Repeat([]byte{0xa5}, 128)
+	if err := s.Put("trace", "k", payload); err != nil {
+		t.Fatal(err)
+	}
+	path := entryFile(s, "trace", "k")
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit at a spread of offsets: header, key, payload, CRC.
+	for _, off := range []int{0, 5, 9, 20, len(whole) / 2, len(whole) - 2} {
+		mut := append([]byte(nil), whole...)
+		mut[off] ^= 0x10
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get("trace", "k"); ok {
+			t.Fatalf("bit flip at offset %d returned a hit (%d bytes)", off, len(got))
+		}
+		if err := s.Put("trace", "k", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAddressCollisionDegradesToMiss(t *testing.T) {
+	s := open(t, t.TempDir())
+	if err := s.Put("trace", "k1", []byte("k1 payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an FNV-64 address collision: k1's (internally consistent,
+	// CRC-valid) entry sits at the address Get computes for k2.
+	src := entryFile(s, "trace", "k1")
+	dst := entryFile(s, "trace", "k2")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("trace", "k2"); ok {
+		t.Fatalf("address collision returned k1's payload %q for k2", got)
+	}
+}
+
+func TestTwoStoresOneDirectory(t *testing.T) {
+	// Two Stores (two "processes") race puts and gets of the same keys on
+	// one directory. Deterministic payloads + atomic renames make the race
+	// benign: every hit must carry the right payload.
+	dir := t.TempDir()
+	a, b := open(t, dir), open(t, dir)
+	const keys = 16
+	payload := func(i int) []byte { return []byte(fmt.Sprintf("payload-%d", i)) }
+	var wg sync.WaitGroup
+	for _, s := range []*Store{a, b} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 8; round++ {
+				for i := 0; i < keys; i++ {
+					key := fmt.Sprintf("k%d", i)
+					if got, ok := s.Get("cell", key); ok {
+						if !bytes.Equal(got, payload(i)) {
+							t.Errorf("wrong payload for %s: %q", key, got)
+						}
+					} else if err := s.Put("cell", key, payload(i)); err != nil {
+						t.Errorf("put %s: %v", key, err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A third open sees all entries and serves them all.
+	c := open(t, dir)
+	for i := 0; i < keys; i++ {
+		got, ok := c.Get("cell", fmt.Sprintf("k%d", i))
+		if !ok || !bytes.Equal(got, payload(i)) {
+			t.Fatalf("k%d after reopen: %q, %v", i, got, ok)
+		}
+	}
+}
+
+func TestGCEvictsLeastRecentlyUsed(t *testing.T) {
+	s := open(t, t.TempDir())
+	payload := bytes.Repeat([]byte{1}, 100)
+	for i := 0; i < 4; i++ {
+		if err := s.Put("trace", fmt.Sprintf("k%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Age the entries deterministically: k2 is oldest, then k0, k3, k1.
+	order := []int{2, 0, 3, 1}
+	s.mu.Lock()
+	for rank, i := range order {
+		a := addrOf(s.fullKey("trace", fmt.Sprintf("k%d", i)))
+		m := s.entries[a]
+		m.LastUsed = int64(1000 + rank)
+		s.entries[a] = m
+	}
+	perEntry := s.total / 4
+	s.mu.Unlock()
+
+	removed, freed, err := s.GC(2 * perEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 || freed != 2*perEntry {
+		t.Fatalf("GC removed %d/%d bytes, want 2 entries / %d bytes", removed, freed, 2*perEntry)
+	}
+	for _, i := range order[:2] {
+		if _, ok := s.Get("trace", fmt.Sprintf("k%d", i)); ok {
+			t.Fatalf("k%d survived GC but was least recently used", i)
+		}
+	}
+	for _, i := range order[2:] {
+		if _, ok := s.Get("trace", fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d evicted out of LRU order", i)
+		}
+	}
+}
+
+func TestMaxBytesTriggersAutoGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Version: "test", MaxBytes: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put("trace", fmt.Sprintf("k%d", i), bytes.Repeat([]byte{2}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Bytes > 300 {
+		t.Fatalf("store holds %d bytes, MaxBytes=300 not enforced", st.Bytes)
+	}
+}
+
+func TestVerifyRemovesCorruptionAndDebris(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := s.Put("cell", fmt.Sprintf("k%d", i), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt one entry and plant a crashed writer's temp file.
+	victim := entryFile(s, "cell", "k1")
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	debris := filepath.Join(filepath.Dir(victim), ".tmp-12345")
+	if err := os.WriteFile(debris, []byte("half an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	checked, corrupt, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked != 3 || corrupt != 1 {
+		t.Fatalf("Verify = %d checked / %d corrupt, want 3/1", checked, corrupt)
+	}
+	if _, err := os.Stat(victim); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+	if _, err := os.Stat(debris); !os.IsNotExist(err) {
+		t.Fatal("temp-file debris not swept")
+	}
+	if checked, corrupt, _ := s.Verify(); checked != 2 || corrupt != 0 {
+		t.Fatalf("second Verify = %d/%d, want a clean 2/0", checked, corrupt)
+	}
+}
+
+func TestIndexPersistsLifetimeCountersAndSurvivesLoss(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Put("trace", "k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	s.Get("trace", "k")
+	s.Get("trace", "missing")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	if st := s2.Stats(); st.LifetimeHits != 1 || st.LifetimeMisses != 1 || st.Entries != 1 {
+		t.Fatalf("reopened stats = %+v, want lifetime 1/1 and 1 entry", st)
+	}
+	// The index is advisory: deleting it must not lose entries.
+	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	s3 := open(t, dir)
+	if got, ok := s3.Get("trace", "k"); !ok || !bytes.Equal(got, []byte("payload")) {
+		t.Fatal("entry lost with the index file")
+	}
+	// A corrupt index is likewise rebuilt, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s4 := open(t, dir)
+	if _, ok := s4.Get("trace", "k"); !ok {
+		t.Fatal("entry lost with a corrupt index file")
+	}
+}
+
+func TestClearEmptiesTheStore(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Put("trace", "k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after Clear = %+v", st)
+	}
+	if _, ok := s.Get("trace", "k"); ok {
+		t.Fatal("hit after Clear")
+	}
+	// The store stays usable.
+	if err := s.Put("trace", "k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("trace", "k"); !ok {
+		t.Fatal("store unusable after Clear")
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get("trace", "k"); ok {
+		t.Fatal("nil store hit")
+	}
+	if err := s.Put("trace", "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.GC(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	s.CountVerified(true)
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+	if s.Hits() != 0 || s.Misses() != 0 {
+		t.Fatal("nil counters nonzero")
+	}
+}
+
+func TestMetricsCountersMirror(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := Open(t.TempDir(), Options{Version: "test", Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Get("trace", "k") // miss
+	if err := s.Put("trace", "k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	s.Get("trace", "k") // hit
+	snap := reg.Snapshot()
+	if snap.Counters["cache.hits"] != 1 || snap.Counters["cache.misses"] != 1 {
+		t.Fatalf("registry counters = %+v", snap.Counters)
+	}
+	if snap.Counters["cache.bytes_written"] == 0 || snap.Counters["cache.bytes_read"] == 0 {
+		t.Fatalf("byte counters not mirrored: %+v", snap.Counters)
+	}
+}

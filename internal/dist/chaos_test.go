@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dynsched/internal/apps"
+	"dynsched/internal/cache"
 	"dynsched/internal/exp"
 	"dynsched/internal/faultinject"
 	"dynsched/internal/obs"
@@ -232,5 +233,79 @@ func TestNewWorkerValidatesURL(t *testing.T) {
 	}
 	if w.ID() == "" {
 		t.Error("default worker id is empty")
+	}
+}
+
+// The incremental-sweep path: run 1 computes through a worker and the
+// coordinator admits every checksum-verified result into the store; run 2,
+// against the warm store, must merge byte-identical columns without a
+// single worker process.
+func TestDistributedSweepFillsAndServesCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed sweep is seconds long")
+	}
+	appNames := []string{"mp3d"}
+	specs, _ := exp.SweepSpecs("fig3")
+	want, err := exp.New(smallOpts(appNames...)).Figure3All()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	store1, err := cache.Open(dir, cache.Options{Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := New(Config{Lease: 400 * time.Millisecond, Retries: 1, RetryBackoff: time.Millisecond, Cache: store1})
+	srv, err := StartServer("127.0.0.1:0", co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	w, err := NewWorker(WorkerConfig{ID: "filler", Coordinator: "http://" + srv.Addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("worker: %v", err)
+		}
+	}()
+	got1, err := RunSweep(ctx, exp.New(smallOpts(appNames...)), specs, co)
+	cancel()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("cold distributed sweep: %v", err)
+	}
+	if !reflect.DeepEqual(got1, want) {
+		t.Fatal("cold distributed columns differ from reference")
+	}
+	if st := store1.Stats(); st.Entries != len(specs) {
+		t.Fatalf("store holds %d entries after the cold sweep, want %d admitted cells", st.Entries, len(specs))
+	}
+
+	// Warm: the coordinator satisfies every cell from the store before any
+	// worker could claim it — no worker runs at all.
+	store2, err := cache.Open(dir, cache.Options{Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co2 := New(Config{Lease: 400 * time.Millisecond, Retries: 1, RetryBackoff: time.Millisecond, Cache: store2})
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	got2, err := RunSweep(ctx2, exp.New(smallOpts(appNames...)), specs, co2)
+	if err != nil {
+		t.Fatalf("warm distributed sweep: %v", err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("warm distributed columns differ from reference")
+	}
+	if got := store2.Hits(); got != uint64(len(specs)) {
+		t.Fatalf("warm sweep hit %d cells, want all %d", got, len(specs))
 	}
 }

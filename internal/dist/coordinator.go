@@ -21,6 +21,8 @@ import (
 	"sync"
 	"time"
 
+	"dynsched/internal/cache"
+	"dynsched/internal/cpu"
 	"dynsched/internal/exp"
 	"dynsched/internal/faultinject"
 	"dynsched/internal/obs"
@@ -53,6 +55,13 @@ type Config struct {
 	MaxActive int
 	// Board, when set, mirrors every cell onto the observability job board.
 	Board *obs.JobBoard
+	// Cache, when set, is the persistent result cache: cells whose result
+	// is already cached are served without ever entering a worker's claim,
+	// and worker-computed results are admitted into the cache — but only
+	// after the resultCheck checksum (the 409-recompute path) accepted
+	// them, so a corrupted report can no more poison the cache than the
+	// merge.
+	Cache *cache.Store
 	// Faults is the test-only injector; the coordinator carries the
 	// "dist.trace.serve" site (corrupt a trace transfer).
 	Faults *faultinject.Injector
@@ -85,12 +94,20 @@ func New(cfg Config) *Coordinator {
 	if cfg.Board == nil {
 		cfg.Board = obs.NewJobBoard()
 	}
-	return &Coordinator{
+	co := &Coordinator{
 		cfg:    cfg,
 		q:      newQueue(cfg.Lease, cfg.Retries, cfg.RetryBackoff, cfg.RetryMaxBackoff, cfg.Board, cfg.Now),
 		gate:   newGate(cfg.MaxActive, cfg.QueueMax),
 		traces: make(map[string][]byte),
 	}
+	if cfg.Cache != nil {
+		// Checksum-verified worker results feed the persistent cache, so the
+		// next sweep over the same traces starts warm.
+		co.q.onDone = func(traceFNV string, spec exp.CellSpec, b cpu.Breakdown, instructions uint64) {
+			exp.CellCachePut(cfg.Cache, traceFNV, spec, b, instructions)
+		}
+	}
+	return co
 }
 
 // AddTrace publishes a serialized trace to the content-addressed cache and
@@ -311,6 +328,14 @@ func RunSweep(ctx context.Context, e *exp.Experiment, specs []exp.CellSpec, co *
 			}
 			addr := co.AddTrace(buf.Bytes())
 			co.q.addApp(a, app, specs, addr)
+			// Serve cached cell results immediately: the cells resolve
+			// before any worker claims them, and the board reports them as
+			// cached. Misses stay queued for the workers.
+			for c, spec := range specs {
+				if b, instructions, ok := exp.CellCacheGet(co.cfg.Cache, addr, spec); ok {
+					co.q.satisfy(a*nc+c, b, instructions)
+				}
+			}
 		}(a, app)
 	}
 	wg.Wait()

@@ -69,6 +69,11 @@ type queue struct {
 	maxBackoff time.Duration
 	board      *obs.JobBoard
 	now        func() time.Time
+
+	// onDone, when set, observes every checksum-verified worker result
+	// (the coordinator admits them into the persistent result cache). It is
+	// called outside the queue lock.
+	onDone func(traceFNV string, spec exp.CellSpec, b cpu.Breakdown, instructions uint64)
 }
 
 func newQueue(lease time.Duration, retries int, backoff, maxBackoff time.Duration, board *obs.JobBoard, now func() time.Time) *queue {
@@ -184,17 +189,18 @@ func (q *queue) claim(worker string) (*jobAssignment, *claimResponse) {
 // checksum mismatch (the worker re-sends); found=false is an unknown id.
 func (q *queue) result(r resultRequest) (found, ok bool) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
+	var landed *qjob
 	j := q.jobs[r.ID]
 	if j == nil {
+		q.mu.Unlock()
 		return false, false
 	}
-	if j.state == stateDone || j.state == stateFailed {
-		return true, true
-	}
-	now := q.now()
-	if r.Error == "" {
+	switch {
+	case j.state == stateDone || j.state == stateFailed:
+		// resolved already: acknowledge and discard
+	case r.Error == "":
 		if resultCheck(r.ID, r.Breakdown, r.Instructions) != r.Check {
+			q.mu.Unlock()
 			return true, false
 		}
 		j.state = stateDone
@@ -203,10 +209,36 @@ func (q *queue) result(r resultRequest) (found, ok bool) {
 		j.worker = r.Worker
 		q.resolved++
 		q.board.Finish(j.boardID, nil)
-		return true, true
+		landed = j
+	default:
+		q.failAttemptLocked(j, q.now(), errors.New(r.Error), r.Permanent)
 	}
-	q.failAttemptLocked(j, now, errors.New(r.Error), r.Permanent)
+	q.mu.Unlock()
+	if landed != nil && q.onDone != nil {
+		// Only checksum-verified results reach here — the cache admits
+		// nothing the merge would not.
+		q.onDone(landed.traceFNV, landed.spec, r.Breakdown, r.Instructions)
+	}
 	return true, true
+}
+
+// satisfy resolves a still-queued cell from the result cache: it never
+// reaches a worker and the board reports it as cached. Cells already leased
+// or resolved are left alone (the in-flight replay will land the identical
+// numbers). The stale fifo entry is dropped lazily by claim.
+func (q *queue) satisfy(id int, b cpu.Breakdown, instructions uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j := q.jobs[id]
+	if j == nil || j.state != stateQueued {
+		return
+	}
+	j.state = stateDone
+	j.breakdown = b
+	j.instructions = instructions
+	j.worker = "cache"
+	q.resolved++
+	q.board.FinishCached(j.boardID)
 }
 
 // heartbeat renews worker's leases; ids the worker no longer owns (expired

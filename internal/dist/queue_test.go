@@ -256,3 +256,56 @@ func TestGateFairAcrossClients(t *testing.T) {
 		t.Fatalf("grant order %v, want client b granted second (round-robin)", order)
 	}
 }
+
+func TestQueueSatisfyServesCachedCells(t *testing.T) {
+	q, _ := testQueue(t, 3, 2)
+	b := cpu.Breakdown{Busy: 10, Read: 20}
+	// Cell 1 is satisfied from the cache before any worker claims it.
+	q.satisfy(1, b, 42)
+	// Workers only ever see the remaining two cells.
+	seen := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		job, _ := q.claim("w1")
+		if job == nil {
+			t.Fatalf("claim %d: no job", i)
+		}
+		if job.ID == 1 {
+			t.Fatal("cache-satisfied cell leased to a worker")
+		}
+		seen[job.ID] = true
+		res := resultRequest{Worker: "w1", ID: job.ID, Breakdown: b, Instructions: 7,
+			Check: resultCheck(job.ID, b, 7)}
+		if _, ok := q.result(res); !ok {
+			t.Fatalf("result for %d rejected", job.ID)
+		}
+	}
+	if _, resp := q.claim("w1"); !resp.Done {
+		t.Fatal("sweep not done after two replays + one cached cell")
+	}
+	gotB, instructions, cerr := q.outcome(1)
+	if cerr != nil || gotB != b || instructions != 42 {
+		t.Fatalf("cached outcome = %+v/%d/%v", gotB, instructions, cerr)
+	}
+	// satisfy on an already-resolved or leased cell is a no-op.
+	q.satisfy(1, cpu.Breakdown{Busy: 999}, 999)
+	if gotB, instructions, _ := q.outcome(1); gotB != b || instructions != 42 {
+		t.Fatal("satisfy overwrote a resolved cell")
+	}
+}
+
+func TestQueueSatisfyReportsCachedOnBoard(t *testing.T) {
+	now := time.Unix(1000, 0)
+	board := obs.NewJobBoard()
+	q := newQueue(time.Second, 1, time.Millisecond, 4*time.Millisecond,
+		board, func() time.Time { return now })
+	specs := exp.Figure3Specs()[:2]
+	if err := q.start(2); err != nil {
+		t.Fatal(err)
+	}
+	q.addApp(0, "mp3d", specs, "deadbeef")
+	q.satisfy(0, cpu.Breakdown{Busy: 1}, 1)
+	st := board.Status()
+	if st.Cached != 1 || st.Queued != 1 {
+		t.Fatalf("board cached/queued = %d/%d, want 1/1", st.Cached, st.Queued)
+	}
+}

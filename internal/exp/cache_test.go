@@ -1,0 +1,193 @@
+package exp
+
+// Warm-vs-cold equivalence for the persistent result cache: a sweep served
+// from the store must be indistinguishable — in columns, metrics, and
+// ordering — from the cold sweep that populated it, at any worker count,
+// and any store damage must degrade to recomputation, never to different
+// numbers.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dynsched/internal/apps"
+	"dynsched/internal/cache"
+	"dynsched/internal/cpu"
+	"dynsched/internal/obs"
+)
+
+// cachedSweep runs Figure3All on a fresh Experiment backed by the store,
+// returning the columns and the registry snapshot FNV.
+func cachedSweep(t *testing.T, store *cache.Store, workers int, verify float64) ([]AppColumns, string) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	opts := DefaultOptions()
+	opts.Scale = apps.ScaleSmall
+	opts.Apps = []string{"lu", "mp3d"}
+	opts.Workers = workers
+	opts.Cache = store
+	opts.CacheVerify = verify
+	opts.Metrics = reg
+	e := New(opts)
+	cols, err := e.Figure3All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cols, obs.SnapshotFNV(reg.Snapshot())
+}
+
+func TestCacheWarmMatchesColdAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cache.Open(dir, cache.Options{Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, coldFNV := cachedSweep(t, store, 1, 0)
+	if store.Misses() == 0 {
+		t.Fatal("cold sweep recorded no misses")
+	}
+	for _, workers := range []int{1, 4} {
+		warmStore, err := cache.Open(dir, cache.Options{Version: "test"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, warmFNV := cachedSweep(t, warmStore, workers, 0)
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("warm columns at %d workers differ from cold", workers)
+		}
+		if warmFNV != coldFNV {
+			t.Fatalf("warm metrics FNV %s != cold %s at %d workers", warmFNV, coldFNV, workers)
+		}
+		if warmStore.Hits() == 0 {
+			t.Fatalf("warm sweep at %d workers recorded no hits", workers)
+		}
+		if warmStore.Misses() != 0 {
+			t.Fatalf("warm sweep at %d workers recorded %d misses", workers, warmStore.Misses())
+		}
+	}
+}
+
+func TestCacheCorruptionRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cache.Open(dir, cache.Options{Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, coldFNV := cachedSweep(t, store, 1, 0)
+
+	// Bit-flip every object in the store: every lookup must degrade to a
+	// CRC-rejected miss and a recompute with identical results.
+	var flipped int
+	err = filepath.Walk(filepath.Join(dir, "objects"), func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		data[len(data)/2] ^= 0x40
+		flipped++
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipped == 0 {
+		t.Fatal("no objects to corrupt")
+	}
+
+	hurt, hurtErr := cache.Open(dir, cache.Options{Version: "test"})
+	if hurtErr != nil {
+		t.Fatal(hurtErr)
+	}
+	warm, warmFNV := cachedSweep(t, hurt, 2, 0)
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("corrupted store changed sweep results")
+	}
+	if warmFNV != coldFNV {
+		t.Fatalf("corrupted store changed metrics FNV: %s != %s", warmFNV, coldFNV)
+	}
+	if hurt.Hits() != 0 {
+		t.Fatalf("corrupted entries produced %d hits", hurt.Hits())
+	}
+	// The recompute repopulated the store: a third sweep is all hits again.
+	again, err := cache.Open(dir, cache.Options{Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, fnv := cachedSweep(t, again, 1, 0); fnv != coldFNV {
+		t.Fatal("repopulated store diverged")
+	}
+	if again.Misses() != 0 {
+		t.Fatalf("repopulated store still missing %d lookups", again.Misses())
+	}
+}
+
+func TestCacheVerifyPassesOnHonestStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cache.Open(dir, cache.Options{Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, coldFNV := cachedSweep(t, store, 1, 0)
+	warmStore, err := cache.Open(dir, cache.Options{Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmFNV := cachedSweep(t, warmStore, 2, 1.0)
+	if !reflect.DeepEqual(cold, warm) || warmFNV != coldFNV {
+		t.Fatal("verified warm sweep diverged from cold")
+	}
+	if st := warmStore.Stats(); st.Verified == 0 || st.Divergent != 0 {
+		t.Fatalf("verify counters = %+v, want verified > 0 and no divergence", st)
+	}
+}
+
+func TestCacheVerifyDetectsPoisonedCell(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cache.Open(dir, cache.Options{Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate, then overwrite one cell entry with wrong numbers under a
+	// perfectly valid envelope — the CRC cannot catch this; only the
+	// recompute can.
+	cachedSweep(t, store, 1, 0)
+	reg := obs.NewRegistry()
+	opts := DefaultOptions()
+	opts.Scale = apps.ScaleSmall
+	opts.Apps = []string{"lu", "mp3d"}
+	opts.Cache = store
+	opts.Metrics = reg
+	e := New(opts)
+	run, err := e.Run("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Figure3Specs()[1]
+	CellCachePut(store, run.ContentAddr(), spec, cpu.Breakdown{Busy: 12345}, 999)
+
+	poisoned, err := cache.Open(dir, cache.Options{Version: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := obs.NewRegistry()
+	opts2 := DefaultOptions()
+	opts2.Scale = apps.ScaleSmall
+	opts2.Apps = []string{"lu", "mp3d"}
+	opts2.Cache = poisoned
+	opts2.CacheVerify = 1.0
+	opts2.Metrics = reg2
+	if _, err := New(opts2).Figure3All(); err == nil {
+		t.Fatal("poisoned cell survived -cache-verify 1")
+	} else if !strings.Contains(err.Error(), "diverge") {
+		t.Fatalf("error %v does not name the divergence", err)
+	}
+	if st := poisoned.Stats(); st.Divergent == 0 {
+		t.Fatalf("divergence not counted: %+v", st)
+	}
+}

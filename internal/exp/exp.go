@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -12,6 +13,7 @@ import (
 
 	"dynsched/internal/apps"
 	"dynsched/internal/bpred"
+	"dynsched/internal/cache"
 	"dynsched/internal/consistency"
 	"dynsched/internal/cpu"
 	"dynsched/internal/faultinject"
@@ -92,6 +94,18 @@ type Options struct {
 	// ("gen.<app>", "cell.<label>") — the fault-injection harness used by
 	// the robustness tests and the -race CI job. nil disables injection.
 	Faults *faultinject.Injector
+
+	// Cache, when non-nil, memoizes generated traces and replay-cell
+	// results on disk (see internal/cache and cache.go in this package). A
+	// hit short-circuits the computation but flows through the same
+	// by-index merge, so every artifact stays byte-identical to a cold run
+	// at any worker count. nil disables memoization.
+	Cache *cache.Store
+	// CacheVerify is the fraction [0,1] of cell cache hits to recompute
+	// and compare against the cached result; a divergence is a terminal
+	// cell failure. The selection is a deterministic function of the cell
+	// key, so the audited subset is stable across runs.
+	CacheVerify float64
 }
 
 // DefaultOptions returns the paper's main configuration at medium scale.
@@ -120,7 +134,15 @@ type AppRun struct {
 	Trace  *trace.Trace
 	Caches []mem.Stats
 	CPUs   []tango.CPUStats
+
+	// addr is the trace's content address (trace.ContentAddr), memoized
+	// when the run went through the result cache; "" when caching is off.
+	addr string
 }
+
+// ContentAddr returns the trace's memoized content address, or "" when the
+// run was produced without the result cache.
+func (r *AppRun) ContentAddr() string { return r.addr }
 
 // TraceView returns a read-only view of the cached decoded trace: a
 // shallow *Trace whose Events slice is capacity-capped at its length, so
@@ -220,6 +242,9 @@ func (e *Experiment) generate(app string) (run *AppRun, err error) {
 	if err := e.opts.Faults.Fire("gen." + app); err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", app, err)
 	}
+	if run := e.cachedTrace(app, job); run != nil {
+		return run, nil
+	}
 	a, err := apps.Build(app, e.opts.NumCPUs, e.opts.Scale)
 	if err != nil {
 		return nil, err
@@ -280,7 +305,71 @@ func (e *Experiment) generate(app string) (run *AppRun, err error) {
 	// Freeze trims the generation-time append slack off the event arena, so
 	// the copy cached for the whole sweep is exactly one event's worth of
 	// memory per event — the arena every cell's view aliases.
-	return &AppRun{App: app, Trace: res.Trace.Freeze(), Caches: res.CacheStats, CPUs: res.CPUStats}, nil
+	run = &AppRun{App: app, Trace: res.Trace.Freeze(), Caches: res.CacheStats, CPUs: res.CPUStats}
+	e.putTrace(app, run)
+	return run, nil
+}
+
+// cachedTrace restores an application run from the result cache: the
+// decoded trace, the multiprocessor statistics, and the metrics fragment
+// the original generation published — so a warm run's registry hashes
+// identically to a cold one's. Any decode failure falls back to
+// regenerating. job is the generation's board entry, finished as "cached"
+// on a hit.
+func (e *Experiment) cachedTrace(app string, job int) *AppRun {
+	payload, ok := e.opts.Cache.Get(traceKind, e.traceKey(app))
+	if !ok {
+		return nil
+	}
+	sc, traceBytes, err := decodeTraceEntry(payload)
+	if err != nil {
+		return nil
+	}
+	start := time.Now()
+	// ReadTrace re-verifies the v3 per-chunk CRCs and whole-file footer on
+	// top of the cache entry's own checksum; a failure here means the entry
+	// predates a format change, so regenerate and overwrite.
+	tr, err := trace.ReadTrace(bytes.NewReader(traceBytes))
+	if err != nil {
+		return nil
+	}
+	if reg := e.opts.Metrics; reg != nil {
+		reg.LoadSnapshot(sc.Metrics)
+		// The fragment's wall/throughput gauges describe the original
+		// computation; overwrite with this run's real numbers (both are
+		// excluded from the determinism checksum).
+		wall := time.Since(start).Seconds()
+		pre := "exp." + app + "."
+		reg.Gauge(pre + "wall_seconds").Set(wall)
+		if wall > 0 {
+			reg.Gauge(pre + "cycles_per_sec").Set(float64(reg.Counter(pre+"cycles").Value()) / wall)
+		}
+	}
+	e.opts.Board.FinishCached(job)
+	return &AppRun{App: app, Trace: tr.Freeze(), Caches: sc.Caches, CPUs: sc.CPUs, addr: traceAddrBytes(traceBytes)}
+}
+
+// putTrace stores a freshly generated run in the result cache and memoizes
+// its content address. Failures degrade to a future regeneration.
+func (e *Experiment) putTrace(app string, run *AppRun) {
+	s := e.opts.Cache
+	if s == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := run.Trace.WriteTo(&buf); err != nil {
+		return
+	}
+	run.addr = traceAddrBytes(buf.Bytes())
+	sc := traceSidecar{Caches: run.Caches, CPUs: run.CPUs}
+	if reg := e.opts.Metrics; reg != nil {
+		sc.Metrics = obs.FilterSnapshot(reg.Snapshot(), "tango."+app+".", "exp."+app+".")
+	}
+	payload, err := encodeTraceEntry(sc, buf.Bytes())
+	if err != nil {
+		return
+	}
+	s.Put(traceKind, e.traceKey(app), payload) //nolint:errcheck
 }
 
 // Apps returns the application list for this experiment.

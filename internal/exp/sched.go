@@ -146,6 +146,11 @@ type cell struct {
 	model  consistency.Model
 	window int
 	mutate func(*cpu.Config) // optional extra configuration
+
+	// spec is the serializable identity of a spec-derived cell, the result
+	// cache's key material. Ablation cells built from raw closures leave it
+	// nil and are never cached: a closure has no stable identity to key by.
+	spec *CellSpec
 }
 
 func (c cell) run(tr *trace.Trace, o *Options) (Column, error) {
@@ -316,12 +321,30 @@ func (e *Experiment) perAppCells(cells []cell) ([]AppColumns, error) {
 				}
 				site := apps[a] + " " + cells[c].label
 				bj := o.Board.Enqueue(site)
+				tr := runs[a].TraceView()
+				// A cell already in the result cache skips its replay but
+				// lands in the same by-index slot, so the merged output is
+				// byte-identical to a cold run. The board reports it as
+				// cached rather than done, keeping ETA estimates honest.
+				if handled, cerr := o.cacheHit(tr, cells[c], runs[a].addr, site, a*nc+c, &cols[a][c]); handled {
+					if cerr != nil {
+						cellErrs[a][c] = cerr
+						o.Board.Finish(bj, cerr)
+					} else {
+						o.Board.FinishCached(bj)
+					}
+					done()
+					continue
+				}
 				o.Board.Start(bj)
-				cerr := runCell(runs[a].TraceView(), cells[c], o, site, a*nc+c, &cols[a][c])
+				cerr := runCell(tr, cells[c], o, site, a*nc+c, &cols[a][c])
 				if cerr != nil {
 					cellErrs[a][c] = cerr
 					o.Board.Finish(bj, cerr)
 				} else {
+					if sp := cells[c].spec; sp != nil {
+						CellCachePut(o.Cache, runs[a].addr, *sp, cols[a][c].Breakdown, cols[a][c].Instructions)
+					}
 					o.Board.Finish(bj, nil)
 				}
 				done()

@@ -60,7 +60,8 @@ func (s CellSpec) cell() (cell, error) {
 		return cell{}, err
 	}
 	m, _ := consistency.ParseModel(s.Model)
-	c := cell{label: s.Label, arch: s.Arch, model: m, window: s.Window}
+	spec := s
+	c := cell{label: s.Label, arch: s.Arch, model: m, window: s.Window, spec: &spec}
 	if s.IssueWidth != 0 || s.Prefetch || s.PerfectBP || s.IgnoreDataDeps {
 		s := s
 		c.mutate = func(cfg *cpu.Config) {

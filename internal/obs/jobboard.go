@@ -28,6 +28,11 @@ const (
 	JobRunning = "running"
 	JobDone    = "done"
 	JobFailed  = "failed"
+	// JobCached marks a job satisfied from the result cache without being
+	// computed. It is terminal like JobDone but reported separately, so a
+	// warm sweep's near-zero cell durations don't skew lane throughput or
+	// ETA estimates derived from genuinely computed cells.
+	JobCached = "cached"
 )
 
 // DefaultBoardRetention is how many finished jobs a board keeps in detail
@@ -58,6 +63,7 @@ type JobBoard struct {
 
 	evictedDone   int
 	evictedFailed int
+	evictedCached int
 }
 
 // NewJobBoard creates an empty board with the default finished-job
@@ -117,7 +123,7 @@ func (b *JobBoard) Finish(id int, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	j, ok := b.jobs[id]
-	if !ok || j.state == JobDone || j.state == JobFailed {
+	if !ok || j.state == JobDone || j.state == JobFailed || j.state == JobCached {
 		return
 	}
 	j.finished = time.Now()
@@ -134,6 +140,27 @@ func (b *JobBoard) Finish(id int, err error) {
 	b.evictLocked()
 }
 
+// FinishCached marks the job as satisfied from the result cache. Safe on a
+// nil board and an invalid id.
+func (b *JobBoard) FinishCached(id int) {
+	if b == nil || id < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	j, ok := b.jobs[id]
+	if !ok || j.state == JobDone || j.state == JobFailed || j.state == JobCached {
+		return
+	}
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	j.state = JobCached
+	b.finished = append(b.finished, id)
+	b.evictLocked()
+}
+
 // evictLocked drops the oldest finished jobs past the retention cap,
 // folding their outcomes into the summary counters. Caller holds b.mu.
 func (b *JobBoard) evictLocked() {
@@ -141,9 +168,12 @@ func (b *JobBoard) evictLocked() {
 		id := b.finished[b.finHead]
 		b.finHead++
 		if j, ok := b.jobs[id]; ok {
-			if j.state == JobFailed {
+			switch j.state {
+			case JobFailed:
 				b.evictedFailed++
-			} else {
+			case JobCached:
+				b.evictedCached++
+			default:
 				b.evictedDone++
 			}
 			delete(b.jobs, id)
@@ -173,6 +203,7 @@ type BoardStatus struct {
 	Running int         `json:"running"`
 	Done    int         `json:"done"`
 	Failed  int         `json:"failed"`
+	Cached  int         `json:"cached,omitempty"`
 	Evicted int         `json:"evicted,omitempty"`
 	Jobs    []JobStatus `json:"jobs"`
 }
@@ -189,7 +220,8 @@ func (b *JobBoard) Status() BoardStatus {
 	defer b.mu.Unlock()
 	st.Done = b.evictedDone
 	st.Failed = b.evictedFailed
-	st.Evicted = b.evictedDone + b.evictedFailed
+	st.Cached = b.evictedCached
+	st.Evicted = b.evictedDone + b.evictedFailed + b.evictedCached
 	ids := make([]int, 0, len(b.jobs))
 	for id := range b.jobs {
 		ids = append(ids, id)
@@ -209,6 +241,9 @@ func (b *JobBoard) Status() BoardStatus {
 			js.WallSeconds = j.finished.Sub(j.started).Seconds()
 		case JobFailed:
 			st.Failed++
+			js.WallSeconds = j.finished.Sub(j.started).Seconds()
+		case JobCached:
+			st.Cached++
 			js.WallSeconds = j.finished.Sub(j.started).Seconds()
 		}
 		st.Jobs = append(st.Jobs, js)

@@ -108,3 +108,52 @@ func TestJobBoardRetentionConcurrent(t *testing.T) {
 		t.Errorf("retained %d evicted %d, want 8 and %d", len(st.Jobs), st.Evicted, n-8)
 	}
 }
+
+func TestJobBoardCachedLifecycle(t *testing.T) {
+	b := NewJobBoard()
+	hit := b.Enqueue("lu BASE")
+	miss := b.Enqueue("lu SC-SS")
+	// A cache hit never starts: Enqueue -> FinishCached, no Start.
+	b.FinishCached(hit)
+	b.Start(miss)
+	b.Finish(miss, nil)
+	st := b.Status()
+	if st.Cached != 1 || st.Done != 1 || st.Failed != 0 {
+		t.Fatalf("cached/done/failed = %d/%d/%d, want 1/1/0", st.Cached, st.Done, st.Failed)
+	}
+	if got := st.Jobs[0].State; got != JobCached {
+		t.Fatalf("hit job state = %q, want %q", got, JobCached)
+	}
+	// Cached is terminal: a later Finish (the scheduler's deferred cleanup)
+	// must not demote it to done or failed.
+	b.Finish(hit, errors.New("late"))
+	if st := b.Status(); st.Cached != 1 || st.Failed != 0 {
+		t.Fatalf("cached state overwritten: %+v", st)
+	}
+	// And FinishCached must not overwrite a real outcome.
+	b.FinishCached(miss)
+	if st := b.Status(); st.Done != 1 || st.Cached != 1 {
+		t.Fatalf("done state overwritten by FinishCached: %+v", st)
+	}
+}
+
+func TestJobBoardCachedSurvivesEviction(t *testing.T) {
+	b := NewJobBoard()
+	b.SetRetention(2)
+	for i := 0; i < 8; i++ {
+		id := b.Enqueue("job")
+		if i%2 == 0 {
+			b.FinishCached(id)
+		} else {
+			b.Start(id)
+			b.Finish(id, nil)
+		}
+	}
+	st := b.Status()
+	if st.Cached != 4 || st.Done != 4 {
+		t.Fatalf("cached/done = %d/%d after eviction, want 4/4", st.Cached, st.Done)
+	}
+	if st.Evicted != 6 {
+		t.Fatalf("evicted = %d, want 6", st.Evicted)
+	}
+}

@@ -62,6 +62,11 @@ type LedgerRecord struct {
 	Apps        map[string]LedgerApp  `json:"apps,omitempty"`
 	Cells       map[string]LedgerCell `json:"cells,omitempty"`
 	MetricsFNV  string                `json:"metrics_fnv"`
+	// CacheHits/CacheMisses count result-cache lookups during the run. They
+	// live outside the determinism checksum (a warm run must hash identically
+	// to a cold one), so they get dedicated fields rather than counters.
+	CacheHits   uint64 `json:"cache_hits,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
 	// Interrupted marks a run cut short by SIGINT/SIGTERM or -timeout; its
 	// figures cover only the cells that finished before cancellation.
 	Interrupted bool `json:"interrupted,omitempty"`
@@ -100,6 +105,12 @@ func deterministicGauge(name string) bool {
 func SnapshotFNV(s Snapshot) string {
 	h := fnv.New64a()
 	for _, name := range sortedKeys(s.Counters) {
+		// Result-cache bookkeeping ("cache.hits" etc.) depends on what was in
+		// the cache, not on the simulation: excluding it keeps cold, warm, and
+		// cache-off runs checksum-identical.
+		if strings.HasPrefix(name, "cache.") {
+			continue
+		}
 		fmt.Fprintf(h, "C|%s|%d\n", name, s.Counters[name])
 	}
 	for _, name := range sortedKeys(s.Gauges) {
@@ -140,9 +151,11 @@ func BuildLedgerRecord(version, cmd string, args []string, options map[string]an
 			Mallocs:         ms.Mallocs,
 			NumGC:           ms.NumGC,
 		},
-		Apps:       extractApps(snap),
-		Cells:      extractCells(snap),
-		MetricsFNV: SnapshotFNV(snap),
+		Apps:        extractApps(snap),
+		Cells:       extractCells(snap),
+		MetricsFNV:  SnapshotFNV(snap),
+		CacheHits:   snap.Counters["cache.hits"],
+		CacheMisses: snap.Counters["cache.misses"],
 	}
 	return rec
 }

@@ -301,6 +301,70 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// LoadSnapshot replays a previously captured snapshot into the registry:
+// counters and gauges are set to their snapshotted values, and histograms
+// are reconstructed bucket-for-bucket. It is the restore half of the result
+// cache's metrics memoization — a cache hit loads the metrics fragment the
+// original computation published, so a warm run's registry (and therefore
+// its determinism checksum) is byte-identical to a cold one. Existing
+// metrics under other names are untouched. Safe on a nil registry.
+func (r *Registry) LoadSnapshot(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Counter(name).Set(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, hs := range s.Histograms {
+		h := r.Histogram(name, hs.Bounds...)
+		h.total.Store(hs.Total)
+		h.sum.Store(hs.Sum)
+		for i := range h.counts {
+			if i < len(hs.Counts) {
+				h.counts[i].Store(hs.Counts[i])
+			}
+		}
+	}
+}
+
+// FilterSnapshot returns the subset of a snapshot whose metric names start
+// with any of the given prefixes — the capture half of the result cache's
+// metrics memoization.
+func FilterSnapshot(s Snapshot, prefixes ...string) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	match := func(name string) bool {
+		for _, p := range prefixes {
+			if len(name) >= len(p) && name[:len(p)] == p {
+				return true
+			}
+		}
+		return false
+	}
+	for name, v := range s.Counters {
+		if match(name) {
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range s.Gauges {
+		if match(name) {
+			out.Gauges[name] = v
+		}
+	}
+	for name, v := range s.Histograms {
+		if match(name) {
+			out.Histograms[name] = v
+		}
+	}
+	return out
+}
+
 // WriteJSON serializes a snapshot of the registry as indented JSON with
 // deterministically ordered keys (encoding/json sorts map keys).
 func (r *Registry) WriteJSON(w io.Writer) error {

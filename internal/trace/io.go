@@ -49,6 +49,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"io"
 	"io/fs"
 
@@ -61,6 +62,11 @@ var traceMagic = [4]byte{'D', 'S', 'T', 'R'}
 // added the CRC32 footer; version 3 replaced the flat records with chunked
 // varint/delta encoding.
 const formatVersion = 3
+
+// FormatVersion is the current on-disk format version, exported so cache
+// keys can incorporate it: a format bump must invalidate every cached trace
+// artifact, since the content address is computed over the serialized bytes.
+const FormatVersion = formatVersion
 
 // v2Version is the flat-record format with a CRC footer, still written by
 // WriteToV2 and accepted by ReadTrace.
@@ -136,6 +142,20 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 		return sw.BytesWritten(), err
 	}
 	return sw.BytesWritten(), nil
+}
+
+// ContentAddr returns the trace's content address: the FNV-64a of its
+// canonical (version 3) serialization, formatted as 16 hex digits. Version-3
+// re-encoding is byte-deterministic, so this is the same address the
+// distributed coordinator computes over the bytes it serves from
+// /traces/{addr} and the address the result cache keys cell entries by —
+// one identity for a trace's content everywhere it travels.
+func (t *Trace) ContentAddr() (string, error) {
+	h := fnv.New64a()
+	if _, err := t.WriteTo(h); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
 }
 
 // WriteToV2 serializes the trace in the previous flat-record format
@@ -299,12 +319,22 @@ func readHeader(br *bufio.Reader, sum *uint32) (version uint32, m Meta, count ui
 	if appLen > 1<<16 {
 		return 0, m, 0, fmt.Errorf("trace: implausible app name length %d", appLen)
 	}
-	app := make([]byte, appLen)
-	if _, err := io.ReadFull(br, app); err != nil {
-		return 0, m, 0, fmt.Errorf("trace: short app name: %w", err)
+	// Fast path: the name almost always fits the reader's buffer, so Peek +
+	// Discard reads it in place — one string allocation instead of a scratch
+	// slice plus the string. The ReadFull fallback covers callers that hand
+	// in an undersized bufio.Reader.
+	if b, perr := br.Peek(int(appLen)); perr == nil {
+		*sum = crc32.Update(*sum, crc32.IEEETable, b)
+		m.App = string(b)
+		br.Discard(int(appLen))
+	} else {
+		app := make([]byte, appLen)
+		if _, err := io.ReadFull(br, app); err != nil {
+			return 0, m, 0, fmt.Errorf("trace: short app name: %w", err)
+		}
+		*sum = crc32.Update(*sum, crc32.IEEETable, app)
+		m.App = string(app)
 	}
-	*sum = crc32.Update(*sum, crc32.IEEETable, app)
-	m.App = string(app)
 	var cnt [8]byte
 	if _, err := io.ReadFull(br, cnt[:]); err != nil {
 		return 0, m, 0, fmt.Errorf("trace: short count: %w", err)
@@ -327,7 +357,11 @@ func readChunkV3(br *bufio.Reader, sum *uint32, buf *[]byte, read, count uint64)
 	// passed to io.ReadFull escapes through the io.Reader interface and
 	// would cost two heap allocations per chunk on the streaming path.
 	if cap(*buf) < chunkHdrSize {
-		*buf = make([]byte, 0, 1<<12)
+		// Pre-size for a typical full chunk (4096 events at the ~7-16
+		// bytes/event the v3 encoding averages), so most traces never regrow
+		// the buffer: one payload allocation per scan instead of a geometric
+		// ladder starting from a small seed.
+		*buf = make([]byte, 0, 1<<16)
 	}
 	hdr := (*buf)[:chunkHdrSize]
 	if _, err := io.ReadFull(br, hdr); err != nil {

@@ -22,6 +22,7 @@ import (
 	"testing"
 
 	"dynsched/internal/apps"
+	"dynsched/internal/cache"
 	"dynsched/internal/consistency"
 	"dynsched/internal/cpu"
 	"dynsched/internal/exp"
@@ -77,6 +78,14 @@ type perfBenchReport struct {
 	CursorNsPerEvent     float64 `json:"cursor_ns_per_event"`
 	CursorAllocsPerScan  float64 `json:"cursor_allocs_per_scan"`
 	CursorAllocsPerEvent float64 `json:"cursor_allocs_per_event"`
+
+	// Persistent result cache: one fig3 sweep over lu+mp3d, cold (empty
+	// store: generate, replay, and populate) vs warm (every trace and cell
+	// served from the store). Warm skips both tango generation and replay,
+	// so the speedup is the incremental-sweep win.
+	CacheColdSweepNs float64 `json:"cache_cold_sweep_ns"`
+	CacheWarmSweepNs float64 `json:"cache_warm_sweep_ns"`
+	CacheWarmSpeedup float64 `json:"cache_warm_speedup"`
 }
 
 // sweepHarness builds a harness with the given worker bound and all five
@@ -201,6 +210,51 @@ func BenchmarkPerf(b *testing.B) {
 		rep.CursorNsPerEvent = float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(nEvents)
 		b.ReportMetric(rep.CursorNsPerEvent, "ns/event")
 	})
+
+	// The incremental-sweep claim: a fig3 sweep against an empty store pays
+	// generation + replay + population; the same sweep against the warm
+	// store decodes cached traces and copies cached cell numbers. A fresh
+	// Experiment per iteration keeps in-memory trace memoization out of the
+	// measurement — only the on-disk store carries state between runs.
+	cacheSweep := func(b *testing.B, dir string) {
+		store, err := cache.Open(dir, cache.Options{Version: Version})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := exp.DefaultOptions()
+		opts.Scale = apps.ScaleSmall
+		opts.Apps = []string{"lu", "mp3d"}
+		opts.Cache = store
+		e := exp.New(opts)
+		if _, err := e.Figure3All(); err != nil {
+			b.Fatal(err)
+		}
+		if err := store.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("CacheSweep/cold", func(b *testing.B) {
+		b.ReportAllocs()
+		base := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			cacheSweep(b, fmt.Sprintf("%s/cold%d", base, i))
+		}
+		rep.CacheColdSweepNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("CacheSweep/warm", func(b *testing.B) {
+		b.ReportAllocs()
+		dir := b.TempDir()
+		cacheSweep(b, dir) // populate
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cacheSweep(b, dir)
+		}
+		rep.CacheWarmSweepNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	if rep.CacheWarmSweepNs > 0 {
+		rep.CacheWarmSpeedup = rep.CacheColdSweepNs / rep.CacheWarmSweepNs
+		b.ReportMetric(rep.CacheWarmSpeedup, "cache-warm-speedup")
+	}
 
 	latNs := map[uint32][2]*float64{
 		50:   {&rep.Lat50SkipNs, &rep.Lat50NoskipNs},
